@@ -1,0 +1,41 @@
+# Reproduction of Greenberg & Bhatt, "Routing Multiple Paths in
+# Hypercubes" (SPAA 1990). Stdlib-only; all targets work offline.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench experiments examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper-vs-measured tables (EXPERIMENTS.md content).
+experiments:
+	$(GO) run ./cmd/mpbench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/gridrelax
+	$(GO) run ./examples/faultpaths
+	$(GO) run ./examples/wormhole
+	$(GO) run ./examples/broadcast
+	$(GO) run ./examples/bitonic
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,203 @@
+// Command hcview inspects and verifies the library's constructions:
+// it builds a chosen embedding, recomputes every §3 metric with the
+// independent verifiers, and optionally dumps the structure.
+//
+// Usage:
+//
+//	hcview -construct theorem1 -n 8
+//	hcview -construct hamdecomp -n 10 -dump
+//	hcview -construct theorem3 -n 8
+//	hcview -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multipath"
+)
+
+var constructs = []string{
+	"graycode", "theorem1", "theorem2", "theorem2wide", "hamdecomp", "ghr",
+	"theorem3", "theorem3general", "butterfly-multicopy", "largecopy-cycle",
+	"largecopy-ccc", "largecopy-butterfly", "largecopy-fft", "cbt", "load2torus",
+}
+
+func main() {
+	construct := flag.String("construct", "theorem1", "construction to build")
+	n := flag.Int("n", 8, "hypercube dimension / CCC levels / butterfly size")
+	dump := flag.Bool("dump", false, "dump the structure (cycles, vertex map prefix)")
+	list := flag.Bool("list", false, "list available constructions")
+	flag.Parse()
+
+	if *list {
+		for _, c := range constructs {
+			fmt.Println(c)
+		}
+		return
+	}
+	if err := run(*construct, *n, *dump); err != nil {
+		fmt.Fprintln(os.Stderr, "hcview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(construct string, n int, dump bool) error {
+	switch construct {
+	case "hamdecomp":
+		d, err := multipath.HamiltonianDecomposition(n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Hamiltonian decomposition of Q_%d: %d cycles", n, len(d.Cycles))
+		if d.Matching != nil {
+			fmt.Printf(" + perfect matching (%d edges)", len(d.Matching))
+		}
+		fmt.Println()
+		if err := d.Verify(); err != nil {
+			return fmt.Errorf("verification FAILED: %w", err)
+		}
+		fmt.Println("verification: ok (Hamiltonian, edge-disjoint, exact partition)")
+		if dump {
+			for i, c := range d.Cycles {
+				fmt.Printf("cycle %d: %v ...\n", i, c[:min(16, len(c))])
+			}
+		}
+		return nil
+	case "theorem3":
+		mc, err := multipath.CCCMultiCopy(n)
+		if err != nil {
+			return err
+		}
+		if err := mc.Validate(); err != nil {
+			return fmt.Errorf("validation FAILED: %w", err)
+		}
+		cong, err := mc.EdgeCongestion()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Theorem 3: %d CCC copies in Q_%d, dilation %d, edge-congestion %d (paper: 2), node load %d\n",
+			len(mc.Copies), mc.Host.Dims(), mc.Dilation(), cong, mc.NodeLoad())
+		return nil
+	case "theorem3general", "butterfly-multicopy":
+		var mc *multipath.MultiCopy
+		var err error
+		if construct == "theorem3general" {
+			mc, err = multipath.CCCMultiCopyGeneral(n)
+		} else {
+			mc, err = multipath.ButterflyMultiCopy(n)
+		}
+		if err != nil {
+			return err
+		}
+		if err := mc.Validate(); err != nil {
+			return fmt.Errorf("validation FAILED: %w", err)
+		}
+		cong, err := mc.EdgeCongestion()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d copies in Q_%d, dilation %d, edge-congestion %d\n",
+			construct, len(mc.Copies), mc.Host.Dims(), mc.Dilation(), cong)
+		return nil
+	case "theorem2wide":
+		we, err := multipath.CycleWideEmbedding(n)
+		if err != nil {
+			return err
+		}
+		c, err := we.ScheduleCost(we.Launches)
+		if err != nil {
+			return fmt.Errorf("schedule FAILED: %w", err)
+		}
+		fmt.Printf("theorem2wide: planned cost %d, verified %d\n", we.Cost, c)
+		return report(we.Embedding, "theorem2wide", dump)
+	case "load2torus":
+		gt, err := multipath.Load2Torus(n, 2)
+		if err != nil {
+			return err
+		}
+		c, err := gt.StaggeredPhaseCost(0, true)
+		if err != nil {
+			return fmt.Errorf("phase schedule FAILED: %w", err)
+		}
+		fmt.Printf("load2torus (a=%d, k=2): staggered phase cost %d\n", n, c)
+		return report(gt.Embedding, "load2torus", dump)
+	case "cbt":
+		cbt, err := multipath.CompleteBinaryTree(n)
+		if err != nil {
+			return err
+		}
+		return report(cbt.Embedding, fmt.Sprintf("Theorem 5 CBT (%d levels)", cbt.Levels), dump)
+	}
+
+	var (
+		e   *multipath.Embedding
+		err error
+	)
+	switch construct {
+	case "graycode":
+		e, err = multipath.GrayCodeCycle(n)
+	case "theorem1":
+		e, err = multipath.CycleWidthEmbedding(n)
+	case "theorem2":
+		e, err = multipath.CycleLoad2Embedding(n)
+	case "ghr":
+		e, err = multipath.CCCEmbedding(n)
+	case "largecopy-cycle":
+		e, err = multipath.LargeCopyCycle(n)
+	case "largecopy-ccc":
+		e, err = multipath.LargeCopyCCC(n)
+	case "largecopy-butterfly":
+		e, err = multipath.LargeCopyButterfly(n)
+	case "largecopy-fft":
+		e, err = multipath.LargeCopyFFT(n)
+	default:
+		return fmt.Errorf("unknown construction %q (use -list)", construct)
+	}
+	if err != nil {
+		return err
+	}
+	return report(e, construct, dump)
+}
+
+func report(e *multipath.Embedding, name string, dump bool) error {
+	if err := e.Validate(); err != nil {
+		return fmt.Errorf("validation FAILED: %w", err)
+	}
+	w, err := e.Width()
+	if err != nil {
+		return fmt.Errorf("width check FAILED: %w", err)
+	}
+	cong, err := e.Congestion()
+	if err != nil {
+		return err
+	}
+	util, err := e.LinkUtilization()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: guest %d vertices / %d edges → host Q_%d\n",
+		name, e.Guest.N(), e.Guest.M(), e.Host.Dims())
+	fmt.Printf("  load %d  dilation %d  width %d  congestion %d  link-utilization %.3f\n",
+		e.Load(), e.Dilation(), w, cong, util)
+	if c, err := e.SynchronizedCost(); err == nil {
+		fmt.Printf("  synchronized cost: %d steps, collision-free\n", c)
+	} else {
+		fmt.Printf("  synchronized schedule: %v\n", err)
+	}
+	if dump {
+		limit := min(8, len(e.Paths))
+		for i := 0; i < limit; i++ {
+			fmt.Printf("  edge %d paths: %v\n", i, e.Paths[i])
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunAllConstructs(t *testing.T) {
+	cases := map[string]int{
+		"graycode": 6, "theorem1": 8, "theorem2": 8, "hamdecomp": 8,
+		"ghr": 6, "theorem3": 4, "largecopy-cycle": 6, "largecopy-ccc": 6,
+		"largecopy-butterfly": 6, "largecopy-fft": 6, "cbt": 2,
+		"theorem3general": 6, "butterfly-multicopy": 4, "theorem2wide": 10,
+		"load2torus": 4,
+	}
+	for construct, n := range cases {
+		if err := run(construct, n, false); err != nil {
+			t.Errorf("%s(n=%d): %v", construct, n, err)
+		}
+	}
+}
+
+func TestRunDumps(t *testing.T) {
+	if err := run("hamdecomp", 4, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("graycode", 4, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownConstruct(t *testing.T) {
+	if err := run("nonsense", 4, false); err == nil {
+		t.Error("unknown construct accepted")
+	}
+}

@@ -1,0 +1,131 @@
+// Command mpbench regenerates every experiment table in EXPERIMENTS.md:
+// for each quantitative claim of Greenberg & Bhatt it prints the
+// paper's predicted value next to the value measured on this build.
+//
+// Usage:
+//
+//	mpbench            # run all experiments
+//	mpbench -run E2    # run one experiment by id
+//	mpbench -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// table is one experiment's output.
+type table struct {
+	id      string
+	title   string
+	headers []string
+	rows    [][]string
+	notes   []string
+}
+
+func (t *table) addRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) note(format string, args ...interface{}) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+func (t *table) print() {
+	fmt.Printf("\n### %s — %s\n\n", t.id, t.title)
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Println("| " + strings.Join(parts, " | ") + " |")
+	}
+	line(t.headers)
+	seps := make([]string, len(t.headers))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, r := range t.rows {
+		line(r)
+	}
+	for _, n := range t.notes {
+		fmt.Println("\n> " + n)
+	}
+}
+
+type experiment struct {
+	id    string
+	title string
+	run   func() (*table, error)
+}
+
+func main() {
+	runID := flag.String("run", "", "run only the experiment with this id (e.g. E2)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	exps := []experiment{
+		{"E1", "Gray-code baseline: m-packet cost is m (Fig. 1, §2)", runE1},
+		{"E2", "Theorem 1: width ~n/2, synchronized cost 3, load 1", runE2},
+		{"E3", "Theorem 2: load 2, cost 3, full link use at n≡0 mod 4", runE3},
+		{"E4", "Lemma 3: width ≤ ⌊n/2⌋ at cost 3", runE4},
+		{"E5", "Grid relaxation phase: Θ(M/(N·logN)) vs Θ(M/N) (§2, §8.3)", runE5},
+		{"E6", "Corollaries 1-2: k-axis grids, squaring", runE6},
+		{"E7", "Lemma 1 substrate: Hamiltonian decompositions of Q_n", runE7},
+		{"E8", "Lemma 4: CCC in Q_{n+⌈log n⌉}, dilation 1 (even) / 2 (odd)", runE8},
+		{"E9", "Theorem 3: n CCC copies, edge-congestion 2 vs naive n/log n", runE9},
+		{"E10", "Theorem 4: X(G) width-n, n-packet cost c+2δ", runE10},
+		{"E11", "Theorem 5 & §6.2: complete and arbitrary binary trees", runE11},
+		{"E12", "§7: bit-serial routing, Θ(nM) vs O(M) on CCC copies", runE12},
+		{"E13", "IDA fault tolerance over disjoint paths (§1)", runE13},
+		{"E14", "Lemma 9: large-copy CCC/FFT/butterfly", runE14},
+		{"E15", "§8.2: multi-path vs multi-copy vs large-copy", runE15},
+		{"E16", "Ablation: moment labeling vs naive cycle assignment", runE16},
+		{"E17", "Switching modes: store-and-forward vs cut-through vs wormhole", runE17},
+		{"E18", "Adversarial permutations: e-cube vs Valiant random intermediate", runE18},
+		{"E19", "Broadcast over Lemma 1's Hamiltonian cycles", runE19},
+		{"E20", "Scalability: build+verify wall time at large n", runE20},
+		{"E21", "§1 constant-pinout model: wide grid vs narrow hypercube", runE21},
+		{"E22", "Naive per-edge widening vs Theorem 1's coordination", runE22},
+	}
+
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-4s %s\n", e.id, e.title)
+		}
+		return
+	}
+
+	fmt.Println("# mpbench — paper-vs-measured experiment tables")
+	failed := 0
+	for _, e := range exps {
+		if *runID != "" && !strings.EqualFold(*runID, e.id) {
+			continue
+		}
+		t, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			failed++
+			continue
+		}
+		t.id, t.title = e.id, e.title
+		t.print()
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

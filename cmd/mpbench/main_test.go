@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment must run cleanly and produce a non-trivial table;
+// this is the regression gate for EXPERIMENTS.md regeneration.
+func TestAllExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite is slow")
+	}
+	runs := map[string]func() (*table, error){
+		"E1": runE1, "E2": runE2, "E3": runE3, "E4": runE4, "E5": runE5,
+		"E6": runE6, "E7": runE7, "E8": runE8, "E9": runE9, "E10": runE10,
+		"E11": runE11, "E12": runE12, "E13": runE13, "E14": runE14,
+		"E15": runE15, "E16": runE16, "E17": runE17, "E18": runE18, "E19": runE19,
+		"E20": runE20, "E21": runE21, "E22": runE22,
+	}
+	for id, f := range runs {
+		tab, err := f()
+		if err != nil {
+			t.Errorf("%s: %v", id, err)
+			continue
+		}
+		if len(tab.rows) == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+		for _, r := range tab.rows {
+			if len(r) != len(tab.headers) {
+				t.Errorf("%s: ragged row %v vs headers %v", id, r, tab.headers)
+			}
+		}
+	}
+}
+
+// Paper-vs-measured agreement spot checks through the experiment layer.
+func TestE2ReportsCostThree(t *testing.T) {
+	tab, err := runE2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.rows {
+		if r[3] != "3" {
+			t.Errorf("n=%s: synchronized cost %s", r[0], r[3])
+		}
+	}
+}
+
+func TestE9ReportsCongestionTwo(t *testing.T) {
+	tab, err := runE9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.rows {
+		if r[4] != "2" {
+			t.Errorf("n=%s: Theorem 3 congestion %s", r[0], r[4])
+		}
+	}
+}
+
+func TestE16AblationsCollide(t *testing.T) {
+	tab, err := runE16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.rows {
+		ablated := strings.Contains(r[1], "ablated")
+		collides := strings.Contains(r[4], "COLLIDES")
+		if ablated != collides {
+			t.Errorf("labeler %q: schedule %q", r[1], r[4])
+		}
+	}
+}
+
+func TestTablePrinting(t *testing.T) {
+	tab := &table{
+		id: "T", title: "test", headers: []string{"a", "bb"},
+	}
+	tab.addRow("1", "2")
+	tab.note("hello %d", 7)
+	tab.print() // smoke: must not panic
+	if len(tab.notes) != 1 || tab.notes[0] != "hello 7" {
+		t.Errorf("notes %v", tab.notes)
+	}
+}

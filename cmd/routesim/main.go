@@ -1,0 +1,86 @@
+// Command routesim runs the §7 bit-serial routing experiments from the
+// command line: random-permutation traffic on Q_n under several
+// routing strategies, reporting completion steps.
+//
+// Usage:
+//
+//	routesim -n 4 -flits 64 -seed 42
+//	routesim -n 8 -flits 128 -strategy ccc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"multipath"
+	"multipath/internal/netsim"
+)
+
+func main() {
+	n := flag.Int("n", 4, "CCC levels (host is Q_{n+log n}); must be a power of two")
+	flits := flag.Int("flits", 64, "message length in flits")
+	seed := flag.Int64("seed", 42, "permutation seed")
+	strategy := flag.String("strategy", "all", "ecube-sf | ecube-ct | ecube-wh | valiant | ccc | all")
+	flag.Parse()
+
+	if err := run(*n, *flits, *seed, *strategy); err != nil {
+		fmt.Fprintln(os.Stderr, "routesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, flits int, seed int64, strategy string) error {
+	mc, err := multipath.CCCMultiCopy(n)
+	if err != nil {
+		return err
+	}
+	q := mc.Host
+	rng := rand.New(rand.NewSource(seed))
+	perm := netsim.RandomPermutation(rng, q.Nodes())
+	fmt.Printf("host Q_%d (%d nodes), %d-flit messages, random permutation (seed %d)\n",
+		q.Dims(), q.Nodes(), flits, seed)
+
+	type runner struct {
+		name string
+		f    func() (*netsim.Result, error)
+	}
+	runners := []runner{
+		{"ecube-sf", func() (*netsim.Result, error) {
+			return netsim.Simulate(netsim.PermutationMessages(q, perm, flits), netsim.StoreAndForward)
+		}},
+		{"ecube-ct", func() (*netsim.Result, error) {
+			return netsim.Simulate(netsim.PermutationMessages(q, perm, flits), netsim.CutThrough)
+		}},
+		{"ecube-wh", func() (*netsim.Result, error) {
+			r, err := netsim.SimulateWormhole(netsim.PermutationMessages(q, perm, flits))
+			if err != nil {
+				return nil, err
+			}
+			return &r.Result, nil
+		}},
+		{"valiant", func() (*netsim.Result, error) {
+			return netsim.Simulate(netsim.ValiantMessages(q, perm, flits, rng), netsim.CutThrough)
+		}},
+		{"ccc", func() (*netsim.Result, error) {
+			msgs, err := netsim.MultiCopyCCCMessages(mc, n, perm, flits)
+			if err != nil {
+				return nil, err
+			}
+			return netsim.Simulate(msgs, netsim.CutThrough)
+		}},
+	}
+	for _, r := range runners {
+		if strategy != "all" && strategy != r.name {
+			continue
+		}
+		res, err := r.f()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		fmt.Printf("%-9s steps=%-6d delivered=%-5d flit-hops=%-8d max-queue=%d\n",
+			r.name, res.Steps, res.DeliveredMsgs, res.FlitsMoved, res.MaxLinkQueue)
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestRunAllStrategies(t *testing.T) {
+	if err := run(4, 16, 42, "all"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleStrategy(t *testing.T) {
+	for _, s := range []string{"ecube-sf", "ecube-ct", "ecube-wh", "valiant", "ccc"} {
+		if err := run(4, 8, 1, s); err != nil {
+			t.Errorf("%s: %v", s, err)
+		}
+	}
+}
+
+func TestRunRejectsBadN(t *testing.T) {
+	if err := run(3, 8, 1, "all"); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+}

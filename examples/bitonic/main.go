@@ -1,0 +1,60 @@
+// ASCEND/DESCEND on the cube-connected cycles (Preparata & Vuillemin,
+// the paper's [21]): bitonic sort runs identically on the hypercube
+// (one dimension exchange per level) and on the constant-degree CCC
+// (elements walk their column cycles and meet across cross edges) —
+// which is why the CCC, and Theorem 3's n-copy embedding of it, matter.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"multipath/internal/ascend"
+)
+
+func main() {
+	const n = 1 << 10
+	rng := rand.New(rand.NewSource(7))
+	data := make([]int, n)
+	for i := range data {
+		data[i] = rng.Intn(100000)
+	}
+
+	if err := ascend.BitonicSort(data); err != nil {
+		log.Fatal(err)
+	}
+	sorted := true
+	for i := 1; i < n; i++ {
+		if data[i-1] > data[i] {
+			sorted = false
+		}
+	}
+	fmt.Printf("bitonic sort of %d keys: sorted=%v\n\n", n, sorted)
+
+	// The same reduction, run both ways, with the CCC's communication
+	// accounting.
+	vals := make([]int, 64)
+	for i := range vals {
+		vals[i] = i
+	}
+	hyp := append([]int(nil), vals...)
+	if _, err := ascend.AllReduce(hyp); err != nil {
+		log.Fatal(err)
+	}
+	cccVals := append([]int(nil), vals...)
+	trace, err := ascend.RunCCC(cccVals, ascend.Ascend, func(_ int, _ uint32, lo, hi int) (int, int) {
+		s := lo + hi
+		return s, s
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("all-reduce over 64 elements: hypercube=%d ccc=%d (equal=%v)\n",
+		hyp[0], cccVals[0], hyp[0] == cccVals[0])
+	fmt.Printf("CCC emulation: %d straight hops, %d cross hops, %d synchronous steps\n",
+		trace.StraightHops, trace.CrossHops, trace.Steps)
+	fmt.Println("\nEvery node of the CCC has degree 3, yet it runs the full")
+	fmt.Println("ASCEND/DESCEND class with constant slowdown — and Theorem 3 packs")
+	fmt.Println("n independent such machines into one hypercube at congestion 2.")
+}

@@ -1,0 +1,3 @@
+module multipath
+
+go 1.22

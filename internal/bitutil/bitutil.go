@@ -1,0 +1,111 @@
+// Package bitutil provides the bit-level primitives underlying the
+// multiple-path embedding constructions: binary reflected Gray codes,
+// hypercube Hamiltonian node sequences, node moments (Greenberg & Bhatt
+// §3.2), and prefix utilities over bit strings.
+//
+// Throughout the package an n-bit number v = v_{n-1} ... v_1 v_0 is a
+// uint32; bit i corresponds to hypercube dimension i.
+package bitutil
+
+import "math/bits"
+
+// CeilLog2 returns ⌈log2 x⌉ for x ≥ 1. CeilLog2(1) = 0.
+func CeilLog2(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	return bits.Len32(uint32(x - 1))
+}
+
+// FloorLog2 returns ⌊log2 x⌋ for x ≥ 1.
+func FloorLog2(x int) int {
+	if x < 1 {
+		panic("bitutil: FloorLog2 of non-positive value")
+	}
+	return bits.Len32(uint32(x)) - 1
+}
+
+// IsPow2 reports whether x is a power of two (x ≥ 1).
+func IsPow2(x int) bool {
+	return x >= 1 && x&(x-1) == 0
+}
+
+// Bit returns bit i of v (0 or 1).
+func Bit(v uint32, i int) uint32 {
+	return (v >> uint(i)) & 1
+}
+
+// SetBit returns v with bit i set to b (b must be 0 or 1).
+func SetBit(v uint32, i int, b uint32) uint32 {
+	return (v &^ (1 << uint(i))) | (b << uint(i))
+}
+
+// FlipBit returns v with bit i flipped.
+func FlipBit(v uint32, i int) uint32 {
+	return v ^ (1 << uint(i))
+}
+
+// OnesCount returns the number of set bits in v.
+func OnesCount(v uint32) int {
+	return bits.OnesCount32(v)
+}
+
+// Parity returns the parity (0 or 1) of the number of set bits in v.
+func Parity(v uint32) uint32 {
+	return uint32(bits.OnesCount32(v) & 1)
+}
+
+// Moment computes the moment label of an n-bit number v (Definition 1):
+//
+//	M(0) = 0 and M(v) = XOR over { b(i) : bit i of v is 1 },
+//
+// where b(i) is the ⌈log n⌉-bit binary representation of the dimension
+// index i. Moments have the property (Lemma 2) that all hypercube
+// neighbors of a node carry distinct moments, because flipping bit i
+// changes the moment by exactly b(i).
+func Moment(v uint32) uint32 {
+	var m uint32
+	for v != 0 {
+		i := bits.TrailingZeros32(v)
+		m ^= uint32(i)
+		v &= v - 1
+	}
+	return m
+}
+
+// MomentMod computes the moment of v reduced modulo mod. It is the form
+// used to select one of mod edge-disjoint special cycles; mod is
+// typically the number of available Hamiltonian cycles. mod must be ≥ 1.
+func MomentMod(v uint32, mod int) int {
+	return int(Moment(v)) % mod
+}
+
+// Prefix returns the length-i prefix ρ_i(a) of the k-bit string a, i.e.
+// the i most significant of its k bits, right-aligned. Prefix(a, k, 0)
+// is 0; Prefix(a, k, k) is a.
+func Prefix(a uint32, k, i int) uint32 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= k {
+		return a & ((1 << uint(k)) - 1)
+	}
+	return (a >> uint(k-i)) & ((1 << uint(i)) - 1)
+}
+
+// CommonPrefixLen returns λ(a, b): the length of the longest common
+// prefix of a and b viewed as k-bit strings (most significant bit
+// first).
+func CommonPrefixLen(a, b uint32, k int) int {
+	for i := k; i > 0; i-- {
+		if Prefix(a, k, i) == Prefix(b, k, i) {
+			return i
+		}
+	}
+	return 0
+}
+
+// ReverseBits returns the k-bit reversal of v.
+func ReverseBits(v uint32, k int) uint32 {
+	return bits.Reverse32(v) >> uint(32-k)
+}

@@ -1,0 +1,198 @@
+package bitutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCeilLog2(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := CeilLog2(c.in); got != c.want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFloorLog2(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3}, {1023, 9}, {1024, 10},
+	}
+	for _, c := range cases {
+		if got := FloorLog2(c.in); got != c.want {
+			t.Errorf("FloorLog2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFloorLog2PanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FloorLog2(0) did not panic")
+		}
+	}()
+	FloorLog2(0)
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, x := range []int{1, 2, 4, 8, 1 << 20} {
+		if !IsPow2(x) {
+			t.Errorf("IsPow2(%d) = false, want true", x)
+		}
+	}
+	for _, x := range []int{0, -1, 3, 5, 6, 7, 9, 1<<20 + 1} {
+		if IsPow2(x) {
+			t.Errorf("IsPow2(%d) = true, want false", x)
+		}
+	}
+}
+
+func TestBitOps(t *testing.T) {
+	v := uint32(0b1010)
+	if Bit(v, 0) != 0 || Bit(v, 1) != 1 || Bit(v, 3) != 1 {
+		t.Errorf("Bit extraction wrong for %b", v)
+	}
+	if got := SetBit(v, 0, 1); got != 0b1011 {
+		t.Errorf("SetBit(%b,0,1) = %b", v, got)
+	}
+	if got := SetBit(v, 1, 0); got != 0b1000 {
+		t.Errorf("SetBit(%b,1,0) = %b", v, got)
+	}
+	if got := FlipBit(v, 2); got != 0b1110 {
+		t.Errorf("FlipBit(%b,2) = %b", v, got)
+	}
+}
+
+func TestFlipBitInvolution(t *testing.T) {
+	f := func(v uint32, i uint8) bool {
+		d := int(i % 32)
+		return FlipBit(FlipBit(v, d), d) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParityMatchesOnesCount(t *testing.T) {
+	f := func(v uint32) bool {
+		return Parity(v) == uint32(OnesCount(v)%2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Moment of a single bit i is i itself; moment is linear under XOR of
+// disjoint bit sets.
+func TestMomentSingleBits(t *testing.T) {
+	for i := 0; i < 32; i++ {
+		if got := Moment(1 << uint(i)); got != uint32(i) {
+			t.Errorf("Moment(1<<%d) = %d, want %d", i, got, i)
+		}
+	}
+	if Moment(0) != 0 {
+		t.Error("Moment(0) != 0")
+	}
+}
+
+// Property (Lemma 2): flipping bit i changes the moment by exactly i,
+// hence all neighbors of any node have distinct moments.
+func TestMomentFlipProperty(t *testing.T) {
+	f := func(v uint32, i uint8) bool {
+		d := int(i % 32)
+		return Moment(FlipBit(v, d)) == Moment(v)^uint32(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMomentNeighborsDistinct(t *testing.T) {
+	// Exhaustive for n = 8, logn = 3: neighbors in dims 0..7 must have
+	// 8 distinct moments mod 8.
+	const n = 8
+	for v := uint32(0); v < 1<<n; v++ {
+		seen := make(map[int]bool)
+		for d := 0; d < n; d++ {
+			m := MomentMod(FlipBit(v, d), n)
+			if seen[m] {
+				t.Fatalf("node %d: duplicate neighbor moment %d", v, m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestMomentXORAdditivity(t *testing.T) {
+	f := func(a, b uint32) bool {
+		// For disjoint bit sets, M(a|b) = M(a) ^ M(b).
+		b &^= a
+		return Moment(a|b) == Moment(a)^Moment(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	// a = 0b110 as 3-bit string: prefixes are "", "1", "11", "110".
+	a := uint32(0b110)
+	wants := []uint32{0, 1, 0b11, 0b110}
+	for i, want := range wants {
+		if got := Prefix(a, 3, i); got != want {
+			t.Errorf("Prefix(%b, 3, %d) = %b, want %b", a, i, got, want)
+		}
+	}
+	if got := Prefix(a, 3, 7); got != a {
+		t.Errorf("Prefix over-length = %b, want %b", got, a)
+	}
+	if got := Prefix(a, 3, -1); got != 0 {
+		t.Errorf("Prefix negative length = %b, want 0", got)
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		k    int
+		want int
+	}{
+		{0b110, 0b110, 3, 3},
+		{0b110, 0b111, 3, 2},
+		{0b110, 0b100, 3, 1},
+		{0b110, 0b010, 3, 0},
+		{0, 0, 5, 5},
+		{0b10000, 0b00000, 5, 0},
+	}
+	for _, c := range cases {
+		if got := CommonPrefixLen(c.a, c.b, c.k); got != c.want {
+			t.Errorf("CommonPrefixLen(%b,%b,%d) = %d, want %d", c.a, c.b, c.k, got, c.want)
+		}
+	}
+}
+
+func TestCommonPrefixSymmetric(t *testing.T) {
+	f := func(a, b uint32) bool {
+		a &= 0xff
+		b &= 0xff
+		return CommonPrefixLen(a, b, 8) == CommonPrefixLen(b, a, 8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReverseBits(t *testing.T) {
+	if got := ReverseBits(0b001, 3); got != 0b100 {
+		t.Errorf("ReverseBits(001,3) = %b", got)
+	}
+	f := func(v uint32) bool {
+		v &= 0xffff
+		return ReverseBits(ReverseBits(v, 16), 16) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,43 @@
+package bitutil
+
+import "testing"
+
+func FuzzGrayRoundTrip(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(12345))
+	f.Add(^uint32(0))
+	f.Fuzz(func(t *testing.T, j uint32) {
+		if GrayRank(GrayValue(j)) != j {
+			t.Fatalf("round trip failed for %d", j)
+		}
+		if GrayValue(j)^GrayValue(j+1) == 0 {
+			t.Fatalf("adjacent codes equal at %d", j)
+		}
+	})
+}
+
+func FuzzMomentFlip(f *testing.F) {
+	f.Add(uint32(0), uint8(0))
+	f.Add(uint32(0xdeadbeef), uint8(17))
+	f.Fuzz(func(t *testing.T, v uint32, i uint8) {
+		d := int(i % 32)
+		if Moment(FlipBit(v, d)) != Moment(v)^uint32(d) {
+			t.Fatalf("moment flip law broken at v=%d d=%d", v, d)
+		}
+	})
+}
+
+func FuzzPrefixConsistency(f *testing.F) {
+	f.Add(uint32(0b10110), uint32(0b10011))
+	f.Fuzz(func(t *testing.T, a, b uint32) {
+		a &= 0xffff
+		b &= 0xffff
+		l := CommonPrefixLen(a, b, 16)
+		if Prefix(a, 16, l) != Prefix(b, 16, l) {
+			t.Fatalf("prefixes differ at own common length: %b %b", a, b)
+		}
+		if l < 16 && Prefix(a, 16, l+1) == Prefix(b, 16, l+1) {
+			t.Fatalf("common prefix longer than reported: %b %b", a, b)
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package bitutil
+
+// This file implements the binary reflected Gray code machinery of §3.
+//
+// The paper defines the transition sequence G'_k recursively:
+//
+//	G'_1 = 0,   G'_{i+1} = G'_i ∘ i ∘ G'_i
+//
+// and the closed sequence G_k = G'_k ∘ (k-1), which has 2^k entries and
+// drives a Hamiltonian cycle of Q_k: starting from node 0^k and flipping
+// the dimensions G_k(0), G_k(1), ... in order visits every node exactly
+// once and returns to 0^k.
+
+// GrayValue returns the j-th codeword of the k-bit binary reflected
+// Gray code, i.e. the address visited at step j of the Hamiltonian
+// cycle H_k. GrayValue(0) = 0.
+func GrayValue(j uint32) uint32 {
+	return j ^ (j >> 1)
+}
+
+// GrayRank is the inverse of GrayValue: given a codeword g it returns
+// the index j with GrayValue(j) = g.
+func GrayRank(g uint32) uint32 {
+	var j uint32
+	for ; g != 0; g >>= 1 {
+		j ^= g
+	}
+	return j
+}
+
+// GrayTransition returns G_k(j), the dimension flipped when moving from
+// the j-th to the (j+1 mod 2^k)-th node of the reflected Gray code
+// cycle on k bits. For j < 2^k-1 it is the ruler function (number of
+// trailing ones of j, equivalently trailing zeros of j+1); the closing
+// transition G_k(2^k - 1) = k-1.
+func GrayTransition(j uint32, k int) int {
+	if j == 1<<uint(k)-1 {
+		return k - 1
+	}
+	// Trailing zeros of j+1.
+	t := 0
+	for v := j + 1; v&1 == 0; v >>= 1 {
+		t++
+	}
+	return t
+}
+
+// GraySequence returns the full transition sequence G_k as a slice of
+// 2^k dimension indices.
+func GraySequence(k int) []int {
+	seq := make([]int, 1<<uint(k))
+	for j := range seq {
+		seq[j] = GrayTransition(uint32(j), k)
+	}
+	return seq
+}
+
+// HamiltonianNode returns H_k(i): the i-th node of the canonical
+// Hamiltonian cycle of Q_k obtained from the reflected Gray code,
+// starting at H_k(0) = 0.
+func HamiltonianNode(i uint32, k int) uint32 {
+	return GrayValue(i & (1<<uint(k) - 1))
+}
+
+// HamiltonianCycle returns the full node sequence H_k of length 2^k.
+// Consecutive entries (cyclically) differ in exactly one bit.
+func HamiltonianCycle(k int) []uint32 {
+	seq := make([]uint32, 1<<uint(k))
+	for i := range seq {
+		seq[i] = GrayValue(uint32(i))
+	}
+	return seq
+}
+
+// TransitionCounts returns, for the k-bit closed Gray sequence G_k, how
+// many times each dimension appears. Dimension 0 appears 2^{k-1} times,
+// dimension d > 0 appears 2^{k-1-d} times, except the top dimension
+// k-1, which appears twice (once inside G'_k and once as the closing
+// transition).
+func TransitionCounts(k int) []int {
+	counts := make([]int, k)
+	for _, d := range GraySequence(k) {
+		counts[d]++
+	}
+	return counts
+}

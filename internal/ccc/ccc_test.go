@@ -1,0 +1,405 @@
+package ccc
+
+import (
+	"testing"
+
+	"multipath/internal/bitutil"
+	"multipath/internal/graph"
+)
+
+func TestCCCStructure(t *testing.T) {
+	c := NewCCC(3)
+	if c.Nodes() != 24 || c.Columns() != 8 || c.Levels() != 3 {
+		t.Fatalf("counts wrong: %d %d %d", c.Nodes(), c.Columns(), c.Levels())
+	}
+	g := c.Graph()
+	if g.N() != 24 || g.M() != 48 {
+		t.Fatalf("graph N=%d M=%d", g.N(), g.M())
+	}
+	// Out-degree 2 everywhere (directed CCC).
+	for v := int32(0); v < 24; v++ {
+		if g.OutDegree(v) != 2 {
+			t.Errorf("vertex %d out-degree %d", v, g.OutDegree(v))
+		}
+	}
+	// ID round trip.
+	id := c.ID(2, 5)
+	if c.Level(id) != 2 || c.Col(id) != 5 {
+		t.Error("ID round trip failed")
+	}
+	// Straight edge and cross edge from ⟨1, 3⟩.
+	u := c.ID(1, 3)
+	if !g.HasEdge(u, c.ID(2, 3)) {
+		t.Error("straight edge missing")
+	}
+	if !g.HasEdge(u, c.ID(1, 1)) {
+		t.Error("cross edge missing (3 ⊕ 2 = 1)")
+	}
+	// Cross edges are paired.
+	if !g.HasEdge(c.ID(1, 1), u) {
+		t.Error("reverse cross edge missing")
+	}
+	// Column cycles: straight edges form directed n-cycles.
+	if c := graph.ConnectedFrom(g, 0); c != 24 {
+		t.Errorf("connectivity %d", c)
+	}
+}
+
+func TestButterflyStructure(t *testing.T) {
+	b := NewButterfly(3)
+	g := b.Graph()
+	if g.N() != 24 || g.M() != 48 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	u := b.ID(2, 1)
+	// Level 2 cross flips bit 2: 1 ⊕ 4 = 5, wrapping to level 0.
+	if !g.HasEdge(u, b.ID(0, 5)) {
+		t.Error("wrapped cross edge missing")
+	}
+	if !g.HasEdge(u, b.ID(0, 1)) {
+		t.Error("wrapped straight edge missing")
+	}
+}
+
+func TestFFTGraph(t *testing.T) {
+	g := FFTGraph(3)
+	if g.N() != 32 || g.M() != 48 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	// Level 3 (outputs) has out-degree 0.
+	for col := 0; col < 8; col++ {
+		if g.OutDegree(int32(24+col)) != 0 {
+			t.Error("output level has outgoing edges")
+		}
+	}
+	// Classic FFT reachability: every input reaches every output.
+	for in := int32(0); in < 8; in++ {
+		reached := 0
+		seen := make(map[int32]bool)
+		stack := []int32{in}
+		seen[in] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if v >= 24 {
+				reached++
+			}
+			for _, w := range g.Out(v) {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		if reached != 8 {
+			t.Errorf("input %d reaches %d outputs", in, reached)
+		}
+	}
+}
+
+func TestEmbedButterflyInCCC(t *testing.T) {
+	b, c, route := EmbedButterflyInCCC(4)
+	bg := b.Graph()
+	cg := c.Graph()
+	// Every butterfly edge routes along a CCC path of length ≤ 2.
+	congestion := make(map[[2]int32]int)
+	for _, e := range bg.Edges() {
+		p := route(e.U, e.V)
+		if len(p) > 3 {
+			t.Fatalf("route too long: %v", p)
+		}
+		for i := 0; i+1 < len(p); i++ {
+			if !cg.HasEdge(p[i], p[i+1]) {
+				t.Fatalf("route step (%d,%d) not a CCC edge", p[i], p[i+1])
+			}
+			congestion[[2]int32{p[i], p[i+1]}]++
+		}
+	}
+	for e, c := range congestion {
+		if c > 2 {
+			t.Errorf("CCC edge %v congestion %d", e, c)
+		}
+	}
+}
+
+func TestLevelCodesEven(t *testing.T) {
+	for _, n := range []int{2, 4, 6, 8, 10, 12, 16, 20} {
+		codes, _, direct := LevelCodes(n)
+		if !direct {
+			t.Fatalf("n=%d: not direct", n)
+		}
+		if len(codes) != n {
+			t.Fatalf("n=%d: %d codes", n, len(codes))
+		}
+		r := bitutil.CeilLog2(n)
+		seen := make(map[uint32]bool)
+		for i, c := range codes {
+			if c >= 1<<uint(r) {
+				t.Fatalf("n=%d: code %d out of range", n, c)
+			}
+			if seen[c] {
+				t.Fatalf("n=%d: duplicate code %d", n, c)
+			}
+			seen[c] = true
+			next := codes[(i+1)%n]
+			if bitutil.OnesCount(c^next) != 1 {
+				t.Fatalf("n=%d: codes %b and %b not adjacent", n, c, next)
+			}
+		}
+	}
+}
+
+func TestLevelCodesOdd(t *testing.T) {
+	for _, n := range []int{3, 5, 7, 9, 15} {
+		codes, via, direct := LevelCodes(n)
+		if direct {
+			t.Fatalf("n=%d: odd cycle claimed direct", n)
+		}
+		if len(codes) != n {
+			t.Fatalf("n=%d: %d codes", n, len(codes))
+		}
+		// Internal steps adjacent; wrap routes through via.
+		for i := 0; i+1 < n; i++ {
+			if bitutil.OnesCount(codes[i]^codes[i+1]) != 1 {
+				t.Fatalf("n=%d: step %d not adjacent", n, i)
+			}
+		}
+		if bitutil.OnesCount(codes[n-1]^via) != 1 || bitutil.OnesCount(via^codes[0]) != 1 {
+			t.Fatalf("n=%d: wrap via %b invalid", n, via)
+		}
+	}
+}
+
+func TestGHREmbedEven(t *testing.T) {
+	for _, n := range []int{4, 6, 8} {
+		e, err := GHREmbed(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if e.Dilation() != 1 {
+			t.Errorf("n=%d: dilation %d, want 1 (Lemma 4, even)", n, e.Dilation())
+		}
+		if !e.OneToOne() {
+			t.Errorf("n=%d: not one-to-one", n)
+		}
+		if e.Host.Dims() != n+bitutil.CeilLog2(n) {
+			t.Errorf("n=%d: host Q_%d", n, e.Host.Dims())
+		}
+	}
+}
+
+func TestGHREmbedOdd(t *testing.T) {
+	for _, n := range []int{3, 5, 7} {
+		e, err := GHREmbed(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if e.Dilation() != 2 {
+			t.Errorf("n=%d: dilation %d, want 2 (Lemma 4, odd)", n, e.Dilation())
+		}
+		if !e.OneToOne() {
+			t.Errorf("n=%d: not one-to-one", n)
+		}
+	}
+}
+
+func TestTheorem3CongestionTwo(t *testing.T) {
+	for _, n := range []int{4, 8} {
+		mc, err := Theorem3(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(mc.Copies) != n {
+			t.Fatalf("n=%d: %d copies", n, len(mc.Copies))
+		}
+		if err := mc.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := mc.Dilation(); d != 1 {
+			t.Errorf("n=%d: dilation %d, want 1", n, d)
+		}
+		cong, err := mc.EdgeCongestion()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cong > 2 {
+			t.Errorf("n=%d: edge congestion %d, want ≤ 2 (Theorem 3)", n, cong)
+		}
+		// The n copies exactly tile the host: node load n.
+		if l := mc.NodeLoad(); l != n {
+			t.Errorf("n=%d: node load %d", n, l)
+		}
+	}
+}
+
+func TestTheorem3RejectsNonPow2(t *testing.T) {
+	for _, n := range []int{3, 6, 12} {
+		if _, err := Theorem3(n); err == nil {
+			t.Errorf("n=%d accepted", n)
+		}
+	}
+}
+
+func TestNaiveSameWindowsHighCongestion(t *testing.T) {
+	// §5.3: with identical window partitions the straight edges of all
+	// n copies crowd into r dimensions: congestion ≥ n/r — strictly
+	// worse than Theorem 3's 2.
+	n := 8
+	mc, err := NaiveSameWindows(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cong, err := mc.EdgeCongestion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cong < n/bitutil.FloorLog2(n) {
+		t.Errorf("naive congestion %d unexpectedly low", cong)
+	}
+	smart, err := Theorem3(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := smart.EdgeCongestion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc >= cong {
+		t.Errorf("Theorem 3 congestion %d not better than naive %d", sc, cong)
+	}
+}
+
+func TestTheorem3WindowsAreValid(t *testing.T) {
+	// Windows W^k and W̄^k must be disjoint, and the map must be a
+	// bijection per copy (n·2^n = 2^{n+r}).
+	n := 8
+	r := bitutil.FloorLog2(n)
+	for k := uint32(0); k < uint32(n); k++ {
+		dims := make(map[int]bool)
+		for i := 0; i < r; i++ {
+			d := wDim(k, i, r)
+			if d < 1 || d >= n {
+				t.Fatalf("k=%d: W(%d)=%d out of range", k, i, d)
+			}
+			if dims[d] {
+				t.Fatalf("k=%d: dimension %d repeated in W", k, d)
+			}
+			dims[d] = true
+		}
+		seen := make(map[int]bool)
+		for l := 0; l < n; l++ {
+			d := wBarDim(k, l, n, r)
+			if dims[d] {
+				t.Fatalf("k=%d: W̄(%d)=%d collides with W", k, l, d)
+			}
+			if seen[d] {
+				t.Fatalf("k=%d: W̄ dimension %d repeated", k, d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestLargeCopyCCC(t *testing.T) {
+	e, err := LargeCopyCCC(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Load() != 4 {
+		t.Errorf("load %d, want n", e.Load())
+	}
+	if e.Dilation() != 1 {
+		t.Errorf("dilation %d", e.Dilation())
+	}
+	cong, err := e.Congestion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cong != 1 {
+		t.Errorf("congestion %d, want 1 (Lemma 9)", cong)
+	}
+	// All links used exactly once: utilization 1.
+	u, err := e.LinkUtilization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 1.0 {
+		t.Errorf("utilization %f", u)
+	}
+}
+
+func TestLargeCopyButterflyAndFFT(t *testing.T) {
+	for name, build := range map[string]func(int) (interface {
+		Congestion() (int, error)
+		Load() int
+		Dilation() int
+	}, error){
+		"butterfly": func(n int) (interface {
+			Congestion() (int, error)
+			Load() int
+			Dilation() int
+		}, error) {
+			return LargeCopyButterfly(n)
+		},
+		"fft": func(n int) (interface {
+			Congestion() (int, error)
+			Load() int
+			Dilation() int
+		}, error) {
+			return LargeCopyFFT(n)
+		},
+	} {
+		e, err := build(4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cong, err := e.Congestion()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cong > 2 {
+			t.Errorf("%s: congestion %d, want ≤ 2 (Lemma 9)", name, cong)
+		}
+		if e.Dilation() != 1 {
+			t.Errorf("%s: dilation %d", name, e.Dilation())
+		}
+	}
+}
+
+func TestLargeCopyCycle(t *testing.T) {
+	for _, n := range []int{4, 6, 8} {
+		e, err := LargeCopyCycle(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if e.Guest.N() != n<<uint(n) {
+			t.Fatalf("n=%d: guest %d nodes", n, e.Guest.N())
+		}
+		if e.Load() != n {
+			t.Errorf("n=%d: load %d", n, e.Load())
+		}
+		cong, err := e.Congestion()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cong != 1 {
+			t.Errorf("n=%d: congestion %d, want 1 (Corollary 3)", n, cong)
+		}
+		if e.Dilation() != 1 {
+			t.Errorf("n=%d: dilation %d", n, e.Dilation())
+		}
+		u, err := e.LinkUtilization()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u != 1.0 {
+			t.Errorf("n=%d: utilization %f, want 1 (all links in use)", n, u)
+		}
+	}
+	if _, err := LargeCopyCycle(5); err == nil {
+		t.Error("odd n accepted")
+	}
+}

@@ -1,0 +1,130 @@
+package ccc
+
+import (
+	"fmt"
+
+	"multipath/internal/core"
+	"multipath/internal/graph"
+)
+
+// §5.4 extensions of Theorem 3.
+
+// Theorem3Undirected builds the n-copy embedding of the *undirected*
+// CCC: straight edges toward the lower level are added to the guest,
+// each routed over the reverse of its forward image. Per §5.4 the
+// extra orientation contributes at most two more units of congestion,
+// for a total of four.
+func Theorem3Undirected(n int) (*core.MultiCopy, error) {
+	mc, err := Theorem3(n)
+	if err != nil {
+		return nil, err
+	}
+	c := NewCCC(n)
+	// Undirected guest: forward straight+cross edges, plus downward
+	// straight edges.
+	g := graph.New(c.Nodes())
+	for l := 0; l < n; l++ {
+		for col := uint32(0); col < uint32(c.Columns()); col++ {
+			g.AddEdge(c.ID(l, col), c.ID((l+1)%n, col))
+			g.AddEdge(c.ID(l, col), c.ID(l, col^1<<uint(l)))
+			g.AddEdge(c.ID((l+1)%n, col), c.ID(l, col))
+		}
+	}
+	copies := make([]*core.Embedding, len(mc.Copies))
+	for k, fwd := range mc.Copies {
+		e := &core.Embedding{
+			Host:      mc.Host,
+			Guest:     g,
+			VertexMap: fwd.VertexMap,
+			Paths:     make([][]core.Path, g.M()),
+		}
+		for i, ge := range g.Edges() {
+			from, to := e.VertexMap[ge.U], e.VertexMap[ge.V]
+			if _, err := mc.Host.Dim(from, to); err != nil {
+				return nil, fmt.Errorf("ccc: undirected copy %d edge %d: %w", k, i, err)
+			}
+			e.Paths[i] = []core.Path{{from, to}}
+		}
+		copies[k] = e
+	}
+	return &core.MultiCopy{Host: mc.Host, Copies: copies}, nil
+}
+
+// ButterflyMultiCopy composes Theorem 3 with the butterfly→CCC
+// simulation (§5.4's corollary): n copies of the n-level wrapped
+// butterfly in Q_{n+log n} with dilation 2 and edge-congestion at most
+// 4 (each CCC link carries ≤ 2 butterfly edges, over a congestion-2
+// CCC embedding).
+func ButterflyMultiCopy(n int) (*core.MultiCopy, error) {
+	mc, err := Theorem3(n)
+	if err != nil {
+		return nil, err
+	}
+	bf, _, route := EmbedButterflyInCCC(n)
+	bg := bf.Graph()
+	copies := make([]*core.Embedding, len(mc.Copies))
+	for k, cccCopy := range mc.Copies {
+		e := &core.Embedding{
+			Host:      mc.Host,
+			Guest:     bg,
+			VertexMap: cccCopy.VertexMap, // butterfly and CCC share ⟨ℓ,c⟩ ids
+			Paths:     make([][]core.Path, bg.M()),
+		}
+		for i, ge := range bg.Edges() {
+			cccPath := route(ge.U, ge.V)
+			p := make(core.Path, len(cccPath))
+			for t, cv := range cccPath {
+				p[t] = cccCopy.VertexMap[cv]
+			}
+			e.Paths[i] = []core.Path{p}
+		}
+		copies[k] = e
+	}
+	return &core.MultiCopy{Host: mc.Host, Copies: copies}, nil
+}
+
+// FFTMultiCopy embeds n copies of the (n+1)-level FFT graph: the FFT's
+// level-ℓ edges coincide with the wrapped butterfly's (the extra level
+// folds onto level 0), so each copy reuses the butterfly routing. The
+// vertex map sends FFT vertex ⟨ℓ, c⟩ (ℓ ≤ n) to the butterfly vertex
+// ⟨ℓ mod n, c⟩ — load 2 on level 0, matching §5.4's "FFTs and
+// butterflies can be embedded in CCCs with dilation 2 and congestion
+// 2".
+func FFTMultiCopy(n int) (*core.MultiCopy, error) {
+	mc, err := Theorem3(n)
+	if err != nil {
+		return nil, err
+	}
+	bf, _, route := EmbedButterflyInCCC(n)
+	g := FFTGraph(n)
+	cols := 1 << uint(n)
+	copies := make([]*core.Embedding, len(mc.Copies))
+	for k, cccCopy := range mc.Copies {
+		vm := make([]uint32, g.N())
+		for id := 0; id < g.N(); id++ {
+			l := id / cols
+			col := uint32(id % cols)
+			vm[id] = cccCopy.VertexMap[bf.ID(l%n, col)]
+		}
+		e := &core.Embedding{
+			Host:      mc.Host,
+			Guest:     g,
+			VertexMap: vm,
+			Paths:     make([][]core.Path, g.M()),
+		}
+		for i, ge := range g.Edges() {
+			lu := int(ge.U) / cols
+			cu := uint32(int(ge.U) % cols)
+			lv := int(ge.V) / cols
+			cv := uint32(int(ge.V) % cols)
+			cccPath := route(bf.ID(lu%n, cu), bf.ID(lv%n, cv))
+			p := make(core.Path, len(cccPath))
+			for t, cvx := range cccPath {
+				p[t] = cccCopy.VertexMap[cvx]
+			}
+			e.Paths[i] = []core.Path{p}
+		}
+		copies[k] = e
+	}
+	return &core.MultiCopy{Host: mc.Host, Copies: copies}, nil
+}

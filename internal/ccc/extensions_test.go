@@ -1,0 +1,139 @@
+package ccc
+
+import "testing"
+
+func TestTheorem3UndirectedCongestionFour(t *testing.T) {
+	for _, n := range []int{4, 8} {
+		mc, err := Theorem3Undirected(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := mc.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		cong, err := mc.EdgeCongestion()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cong > 4 {
+			t.Errorf("n=%d: congestion %d, want ≤ 4 (§5.4)", n, cong)
+		}
+		if d := mc.Dilation(); d != 1 {
+			t.Errorf("n=%d: dilation %d", n, d)
+		}
+		// The undirected guest has 3 out-edges per vertex (up, cross,
+		// down).
+		if got := mc.Copies[0].Guest.M(); got != 3*mc.Copies[0].Guest.N() {
+			t.Errorf("n=%d: guest has %d edges", n, got)
+		}
+	}
+}
+
+func TestButterflyMultiCopy(t *testing.T) {
+	for _, n := range []int{4, 8} {
+		mc, err := ButterflyMultiCopy(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := mc.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := mc.Dilation(); d > 2 {
+			t.Errorf("n=%d: dilation %d, want ≤ 2 (§5.4)", n, d)
+		}
+		cong, err := mc.EdgeCongestion()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cong > 4 {
+			t.Errorf("n=%d: congestion %d, want ≤ 4 (§5.4)", n, cong)
+		}
+	}
+}
+
+func TestFFTMultiCopy(t *testing.T) {
+	n := 4
+	mc, err := FFTMultiCopy(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FFT copies are load-2 (the output level folds onto the inputs),
+	// so validate per copy without the one-to-one requirement.
+	for k, c := range mc.Copies {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("copy %d: %v", k, err)
+		}
+		if l := c.Load(); l != 2 {
+			t.Errorf("copy %d: load %d, want 2", k, l)
+		}
+		if d := c.Dilation(); d > 2 {
+			t.Errorf("copy %d: dilation %d", k, d)
+		}
+	}
+	cong, err := mc.EdgeCongestion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cong > 4 {
+		t.Errorf("congestion %d, want ≤ 4", cong)
+	}
+	// (n+1)·2^n guest vertices per copy.
+	if got := mc.Copies[0].Guest.N(); got != (n+1)<<uint(n) {
+		t.Errorf("guest size %d", got)
+	}
+}
+
+// §5's footnote: for n not a power of two the congestion is "at worst
+// doubled and some edges suffer dilation 2". The general construction
+// (length-n Gray level cycle + relocated window overflow) does better:
+// dilation stays 1 and congestion stays within 3.
+func TestTheorem3GeneralEvenN(t *testing.T) {
+	want := map[int]int{6: 2, 10: 3, 12: 3}
+	for n, maxCong := range want {
+		mc, err := Theorem3General(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := mc.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(mc.Copies) != n {
+			t.Errorf("n=%d: %d copies", n, len(mc.Copies))
+		}
+		if d := mc.Dilation(); d != 1 {
+			t.Errorf("n=%d: dilation %d", n, d)
+		}
+		cong, err := mc.EdgeCongestion()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cong > maxCong {
+			t.Errorf("n=%d: congestion %d, want ≤ %d", n, cong, maxCong)
+		}
+		if cong > 4 {
+			t.Errorf("n=%d: congestion %d violates the footnote bound 4", n, cong)
+		}
+	}
+}
+
+func TestTheorem3GeneralDelegatesToPow2(t *testing.T) {
+	mc, err := Theorem3General(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cong, err := mc.EdgeCongestion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cong != 2 {
+		t.Errorf("power-of-two delegation congestion %d", cong)
+	}
+}
+
+func TestTheorem3GeneralRejectsOdd(t *testing.T) {
+	for _, n := range []int{3, 5, 7} {
+		if _, err := Theorem3General(n); err == nil {
+			t.Errorf("odd n=%d accepted", n)
+		}
+	}
+}

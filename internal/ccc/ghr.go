@@ -1,0 +1,98 @@
+package ccc
+
+import (
+	"fmt"
+
+	"multipath/internal/bitutil"
+	"multipath/internal/core"
+	"multipath/internal/hypercube"
+)
+
+// LevelCodes returns a sequence of n codewords over r = ⌈log n⌉ bits
+// assigning hypercube-subcube addresses to CCC levels. For even n the
+// sequence is a closed cycle in Q_r (consecutive codes, including the
+// wrap, differ in exactly one bit), so straight edges embed with
+// dilation 1 (Lemma 4). For odd n no closed odd cycle exists in Q_r;
+// the wrap pair differs in two bits and the second return value is the
+// intermediate codeword to route through (dilation 2).
+func LevelCodes(n int) (codes []uint32, wrapVia uint32, direct bool) {
+	if n < 2 {
+		panic("ccc: need at least 2 levels")
+	}
+	r := bitutil.CeilLog2(n)
+	if n == 1<<uint(r) {
+		return bitutil.HamiltonianCycle(r), 0, true
+	}
+	if n%2 == 0 {
+		// Length-n cycle in Q_r: walk the first n/2 Gray codewords of
+		// Q_{r-1}, then walk them back with the top bit set.
+		m := n / 2
+		top := uint32(1) << uint(r-1)
+		codes = make([]uint32, 0, n)
+		for i := 0; i < m; i++ {
+			codes = append(codes, bitutil.GrayValue(uint32(i)))
+		}
+		for i := m - 1; i >= 0; i-- {
+			codes = append(codes, bitutil.GrayValue(uint32(i))|top)
+		}
+		return codes, 0, true
+	}
+	// Odd n: take the even (n+1)-cycle and drop its last codeword; the
+	// dropped codeword routes the wrap edge.
+	even, _, _ := LevelCodes(n + 1)
+	return even[:n], even[n], false
+}
+
+// GHREmbed implements Lemma 4 (Greenberg, Heath & Rosenberg): the
+// n-level CCC embeds in Q_{n+⌈log n⌉} with dilation 1 when n is even
+// and dilation 2 when n is odd. Level ℓ contributes LevelCodes(n)[ℓ]
+// on the top r dimensions; the column address occupies the low n
+// dimensions, so cross edges at level ℓ map to dimension-ℓ links.
+func GHREmbed(n int) (*core.Embedding, error) {
+	c := NewCCC(n)
+	r := bitutil.CeilLog2(n)
+	q := hypercube.New(n + r)
+	codes, wrapVia, direct := LevelCodes(n)
+
+	place := func(level int, col uint32) hypercube.Node {
+		return codes[level]<<uint(n) | col
+	}
+	g := c.Graph()
+	e := &core.Embedding{
+		Host:      q,
+		Guest:     g,
+		VertexMap: make([]hypercube.Node, g.N()),
+		Paths:     make([][]core.Path, g.M()),
+	}
+	for l := 0; l < n; l++ {
+		for col := uint32(0); col < uint32(c.Columns()); col++ {
+			e.VertexMap[c.ID(l, col)] = place(l, col)
+		}
+	}
+	for i, ge := range g.Edges() {
+		lu, cu := c.Level(ge.U), c.Col(ge.U)
+		lv, cv := c.Level(ge.V), c.Col(ge.V)
+		from, to := place(lu, cu), place(lv, cv)
+		var p core.Path
+		switch {
+		case cu == cv && (direct || !isWrap(lu, lv, n)):
+			p = core.Path{from, to} // straight, adjacent codes
+		case cu == cv:
+			p = core.Path{from, wrapVia<<uint(n) | cu, to} // odd-n wrap
+		default:
+			p = core.Path{from, to} // cross: dimension ℓ
+		}
+		if _, err := q.CheckPath(p); err != nil {
+			return nil, fmt.Errorf("ccc: GHR edge %d: %w", i, err)
+		}
+		e.Paths[i] = []core.Path{p}
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func isWrap(lu, lv, n int) bool {
+	return (lu == n-1 && lv == 0) || (lv == n-1 && lu == 0)
+}

@@ -1,0 +1,163 @@
+package ccc
+
+import (
+	"fmt"
+
+	"multipath/internal/core"
+	"multipath/internal/graph"
+	"multipath/internal/hamdecomp"
+	"multipath/internal/hypercube"
+)
+
+// Large-copy embeddings (§8.1): a single n·2^n-node guest balanced over
+// the 2^n hypercube nodes, load n, with the guest edges spread evenly
+// over the hypercube links.
+
+// LargeCopyCCC embeds the n·2^n-node directed CCC into Q_n (Lemma 9):
+// vertex ⟨ℓ, c⟩ maps to node c; straight edges stay inside a node
+// (length-0 paths); the cross edge at level ℓ maps to the dimension-ℓ
+// link of c. Dilation 1, congestion 1, load n.
+func LargeCopyCCC(n int) (*core.Embedding, error) {
+	c := NewCCC(n)
+	q := hypercube.New(n)
+	g := c.Graph()
+	e := &core.Embedding{
+		Host:      q,
+		Guest:     g,
+		VertexMap: make([]hypercube.Node, g.N()),
+		Paths:     make([][]core.Path, g.M()),
+	}
+	for id := int32(0); int(id) < g.N(); id++ {
+		e.VertexMap[id] = c.Col(id)
+	}
+	for i, ge := range g.Edges() {
+		from, to := e.VertexMap[ge.U], e.VertexMap[ge.V]
+		if from == to {
+			e.Paths[i] = []core.Path{{from}}
+		} else {
+			e.Paths[i] = []core.Path{{from, to}}
+		}
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// LargeCopyButterfly embeds the n·2^n-node wrapped butterfly into Q_n
+// (Lemma 9): vertex ⟨ℓ, c⟩ maps to node c; straight edges stay inside
+// a node; the cross edge at level ℓ maps to the dimension-ℓ link.
+// Dilation 1, congestion 1 per directed link, load n.
+func LargeCopyButterfly(n int) (*core.Embedding, error) {
+	b := NewButterfly(n)
+	q := hypercube.New(n)
+	g := b.Graph()
+	e := &core.Embedding{
+		Host:      q,
+		Guest:     g,
+		VertexMap: make([]hypercube.Node, g.N()),
+		Paths:     make([][]core.Path, g.M()),
+	}
+	for id := int32(0); int(id) < g.N(); id++ {
+		e.VertexMap[id] = b.Col(id)
+	}
+	for i, ge := range g.Edges() {
+		from, to := e.VertexMap[ge.U], e.VertexMap[ge.V]
+		if from == to {
+			e.Paths[i] = []core.Path{{from}}
+		} else {
+			e.Paths[i] = []core.Path{{from, to}}
+		}
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// LargeCopyFFT embeds the (n+1)·2^n-node FFT graph into Q_n: level ℓ
+// of column c maps to node c. Cross edges at level ℓ use the
+// dimension-ℓ link; load n+1, congestion 1 per directed link.
+func LargeCopyFFT(n int) (*core.Embedding, error) {
+	q := hypercube.New(n)
+	g := FFTGraph(n)
+	cols := 1 << uint(n)
+	e := &core.Embedding{
+		Host:      q,
+		Guest:     g,
+		VertexMap: make([]hypercube.Node, g.N()),
+		Paths:     make([][]core.Path, g.M()),
+	}
+	for id := 0; id < g.N(); id++ {
+		e.VertexMap[id] = hypercube.Node(id % cols)
+	}
+	for i, ge := range g.Edges() {
+		from, to := e.VertexMap[ge.U], e.VertexMap[ge.V]
+		if from == to {
+			e.Paths[i] = []core.Path{{from}}
+		} else {
+			e.Paths[i] = []core.Path{{from, to}}
+		}
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// LargeCopyCycle embeds the n·2^n-node directed cycle into Q_n for even
+// n with dilation 1 and congestion 1 (Corollary 3): the n directed
+// Hamiltonian cycles of Lemma 1, each rotated to start at node 0, are
+// traversed in sequence; the closing edge of each cycle doubles as the
+// hand-off into the next cycle's start. Every directed hypercube link
+// is the image of exactly one guest edge.
+func LargeCopyCycle(n int) (*core.Embedding, error) {
+	if n%2 != 0 {
+		return nil, fmt.Errorf("ccc: Corollary 3 requires even n, got %d", n)
+	}
+	dec, err := hamdecomp.Decompose(n)
+	if err != nil {
+		return nil, err
+	}
+	q := hypercube.New(n)
+	var seq []hypercube.Node
+	for _, cyc := range dec.Directed() {
+		rotated := rotateToZero(cyc)
+		seq = append(seq, rotated...)
+	}
+	L := len(seq)
+	g := graph.New(L)
+	for i := 0; i < L; i++ {
+		g.AddEdge(int32(i), int32((i+1)%L))
+	}
+	e := &core.Embedding{
+		Host:      q,
+		Guest:     g,
+		VertexMap: seq,
+		Paths:     make([][]core.Path, L),
+	}
+	for i := 0; i < L; i++ {
+		from, to := seq[i], seq[(i+1)%L]
+		if from == to {
+			e.Paths[i] = []core.Path{{from}}
+		} else {
+			e.Paths[i] = []core.Path{{from, to}}
+		}
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func rotateToZero(cyc []hypercube.Node) []hypercube.Node {
+	for i, v := range cyc {
+		if v == 0 {
+			out := make([]hypercube.Node, 0, len(cyc))
+			out = append(out, cyc[i:]...)
+			out = append(out, cyc[:i]...)
+			return out
+		}
+	}
+	panic("ccc: cycle does not contain node 0")
+}

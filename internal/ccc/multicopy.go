@@ -1,0 +1,134 @@
+package ccc
+
+import (
+	"fmt"
+
+	"multipath/internal/bitutil"
+	"multipath/internal/core"
+	"multipath/internal/hypercube"
+)
+
+// Theorem 3: n copies of the n·2^n-node directed CCC embed in
+// Q_{n+log n} with dilation 1 and edge-congestion 2, for n a power of
+// two (the paper's standing assumption in §5; its footnote notes that
+// other n at worst double the congestion).
+//
+// Copy k is specified by (§5.3):
+//
+//	W^k(0)   = 1,  W^k(i) = 2^i + ρ_i(k)          (overlapping windows)
+//	W̄^k(ℓ)  = ℓ if ℓ ∉ W^k, else n + ⌊log ℓ⌋
+//	H^k(ℓ)   = H_r(ℓ) ⊕ k                          (shifted Gray cycle)
+//
+// and maps CCC vertex ⟨ℓ,c⟩ to the host node whose signature on W^k is
+// H^k(ℓ) (window position i carries the i-th most significant bit,
+// matching the paper's prefix machinery) and whose bit W̄^k(ℓ') equals
+// bit ℓ' of c for every level ℓ'.
+
+// wDim returns W^k(i).
+func wDim(k uint32, i, r int) int {
+	if i == 0 {
+		return 1
+	}
+	return 1<<uint(i) + int(bitutil.Prefix(k, r, i))
+}
+
+// wBarDim returns W̄^k(ℓ) for 0 ≤ ℓ < n.
+func wBarDim(k uint32, ell, n, r int) int {
+	if ell == 0 {
+		return 0 // dimension 0 is never in any window
+	}
+	i := bitutil.FloorLog2(ell)
+	if i < r && wDim(k, i, r) == ell {
+		return n + i
+	}
+	return ell
+}
+
+// Theorem3Node maps CCC vertex ⟨ℓ, c⟩ under copy k to its Q_{n+r} host
+// node.
+func Theorem3Node(n int, k uint32, level int, col uint32) hypercube.Node {
+	r := bitutil.FloorLog2(n)
+	code := bitutil.GrayValue(uint32(level)) ^ k
+	var v uint32
+	for i := 0; i < r; i++ {
+		bit := (code >> uint(r-1-i)) & 1
+		v |= bit << uint(wDim(k, i, r))
+	}
+	for l := 0; l < n; l++ {
+		v |= ((col >> uint(l)) & 1) << uint(wBarDim(k, l, n, r))
+	}
+	return v
+}
+
+// Theorem3 builds the n-copy CCC embedding. n must be a power of two,
+// n ≥ 2.
+func Theorem3(n int) (*core.MultiCopy, error) {
+	if !bitutil.IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("ccc: Theorem 3 requires n a power of two ≥ 2, got %d", n)
+	}
+	r := bitutil.FloorLog2(n)
+	q := hypercube.New(n + r)
+	c := NewCCC(n)
+	g := c.Graph()
+	copies := make([]*core.Embedding, n)
+	for k := 0; k < n; k++ {
+		e := &core.Embedding{
+			Host:      q,
+			Guest:     g,
+			VertexMap: make([]hypercube.Node, g.N()),
+			Paths:     make([][]core.Path, g.M()),
+		}
+		for l := 0; l < n; l++ {
+			for col := uint32(0); col < uint32(c.Columns()); col++ {
+				e.VertexMap[c.ID(l, col)] = Theorem3Node(n, uint32(k), l, col)
+			}
+		}
+		for i, ge := range g.Edges() {
+			from, to := e.VertexMap[ge.U], e.VertexMap[ge.V]
+			if _, err := q.Dim(from, to); err != nil {
+				return nil, fmt.Errorf("ccc: copy %d edge %d not dilation 1: %w", k, i, err)
+			}
+			e.Paths[i] = []core.Path{{from, to}}
+		}
+		copies[k] = e
+	}
+	return &core.MultiCopy{Host: q, Copies: copies}, nil
+}
+
+// NaiveSameWindows is §5.3's first cautionary construction: every copy
+// uses the same window partition (W = {n..n+r-1}), distinguishing
+// copies only by shifting the Gray cycle. All straight edges crowd into
+// r dimensions, so the edge-congestion is at least n/r.
+func NaiveSameWindows(n int) (*core.MultiCopy, error) {
+	if !bitutil.IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("ccc: need n a power of two ≥ 2, got %d", n)
+	}
+	r := bitutil.FloorLog2(n)
+	q := hypercube.New(n + r)
+	c := NewCCC(n)
+	g := c.Graph()
+	copies := make([]*core.Embedding, n)
+	for k := 0; k < n; k++ {
+		e := &core.Embedding{
+			Host:      q,
+			Guest:     g,
+			VertexMap: make([]hypercube.Node, g.N()),
+			Paths:     make([][]core.Path, g.M()),
+		}
+		for l := 0; l < n; l++ {
+			code := bitutil.GrayValue(uint32(l)) ^ uint32(k)
+			for col := uint32(0); col < uint32(c.Columns()); col++ {
+				e.VertexMap[c.ID(l, col)] = code<<uint(n) | col
+			}
+		}
+		for i, ge := range g.Edges() {
+			from, to := e.VertexMap[ge.U], e.VertexMap[ge.V]
+			if _, err := q.Dim(from, to); err != nil {
+				return nil, fmt.Errorf("ccc: naive copy %d edge %d: %w", k, i, err)
+			}
+			e.Paths[i] = []core.Path{{from, to}}
+		}
+		copies[k] = e
+	}
+	return &core.MultiCopy{Host: q, Copies: copies}, nil
+}

@@ -1,0 +1,153 @@
+// Package ccc implements the cube-connected-cycles, butterfly and FFT
+// networks of Greenberg & Bhatt §5, the Greenberg–Heath–Rosenberg
+// embedding of the CCC in the hypercube (Lemma 4), the n-copy CCC
+// embedding with overlapping windows (Theorem 3), and the large-copy
+// embeddings of §8 (Lemma 9, Corollary 3).
+package ccc
+
+import (
+	"fmt"
+
+	"multipath/internal/graph"
+)
+
+// CCC describes the n-level cube-connected-cycles network: n·2^n nodes
+// ⟨ℓ, c⟩ with 0 ≤ ℓ < n, 0 ≤ c < 2^n. The directed CCC has out-degree
+// 2: one straight edge ⟨ℓ,c⟩→⟨ℓ+1 mod n, c⟩ and one cross edge
+// ⟨ℓ,c⟩→⟨ℓ, c⊕2^ℓ⟩ (cross edges come in oppositely-oriented pairs).
+type CCC struct {
+	n int
+}
+
+// NewCCC returns the n-level CCC descriptor (n ≥ 2).
+func NewCCC(n int) *CCC {
+	if n < 2 || n > 24 {
+		panic(fmt.Sprintf("ccc: unsupported level count %d", n))
+	}
+	return &CCC{n: n}
+}
+
+// Levels returns n.
+func (c *CCC) Levels() int { return c.n }
+
+// Columns returns 2^n.
+func (c *CCC) Columns() int { return 1 << uint(c.n) }
+
+// Nodes returns n·2^n.
+func (c *CCC) Nodes() int { return c.n << uint(c.n) }
+
+// ID packs ⟨level, col⟩ into a vertex id (level-major).
+func (c *CCC) ID(level int, col uint32) int32 {
+	return int32(level)<<uint(c.n) | int32(col)
+}
+
+// Level unpacks the level of a vertex id.
+func (c *CCC) Level(id int32) int { return int(id) >> uint(c.n) }
+
+// Col unpacks the column of a vertex id.
+func (c *CCC) Col(id int32) uint32 {
+	return uint32(id) & (1<<uint(c.n) - 1)
+}
+
+// Graph materializes the directed CCC.
+func (c *CCC) Graph() *graph.Graph {
+	g := graph.New(c.Nodes())
+	for l := 0; l < c.n; l++ {
+		for col := uint32(0); col < uint32(c.Columns()); col++ {
+			g.AddEdge(c.ID(l, col), c.ID((l+1)%c.n, col))    // straight
+			g.AddEdge(c.ID(l, col), c.ID(l, col^1<<uint(l))) // cross
+		}
+	}
+	return g
+}
+
+// Butterfly describes the n-level wrapped butterfly: n·2^n nodes
+// ⟨ℓ, c⟩ with straight edges ⟨ℓ,c⟩→⟨ℓ+1 mod n, c⟩ and cross edges
+// ⟨ℓ,c⟩→⟨ℓ+1 mod n, c⊕2^ℓ⟩.
+type Butterfly struct {
+	n int
+}
+
+// NewButterfly returns the n-level wrapped butterfly descriptor.
+func NewButterfly(n int) *Butterfly {
+	if n < 2 || n > 24 {
+		panic(fmt.Sprintf("ccc: unsupported butterfly level count %d", n))
+	}
+	return &Butterfly{n: n}
+}
+
+// Levels returns n.
+func (b *Butterfly) Levels() int { return b.n }
+
+// Columns returns 2^n.
+func (b *Butterfly) Columns() int { return 1 << uint(b.n) }
+
+// Nodes returns n·2^n.
+func (b *Butterfly) Nodes() int { return b.n << uint(b.n) }
+
+// ID packs ⟨level, col⟩ into a vertex id.
+func (b *Butterfly) ID(level int, col uint32) int32 {
+	return int32(level)<<uint(b.n) | int32(col)
+}
+
+// Level unpacks the level of a vertex id.
+func (b *Butterfly) Level(id int32) int { return int(id) >> uint(b.n) }
+
+// Col unpacks the column of a vertex id.
+func (b *Butterfly) Col(id int32) uint32 {
+	return uint32(id) & (1<<uint(b.n) - 1)
+}
+
+// Graph materializes the directed wrapped butterfly.
+func (b *Butterfly) Graph() *graph.Graph {
+	g := graph.New(b.Nodes())
+	for l := 0; l < b.n; l++ {
+		next := (l + 1) % b.n
+		for col := uint32(0); col < uint32(b.Columns()); col++ {
+			g.AddEdge(b.ID(l, col), b.ID(next, col))
+			g.AddEdge(b.ID(l, col), b.ID(next, col^1<<uint(l)))
+		}
+	}
+	return g
+}
+
+// FFTGraph returns the (n+1)-level FFT dataflow graph (the unwrapped
+// butterfly): (n+1)·2^n nodes, level ℓ ∈ [0, n], with straight and
+// cross edges directed from level ℓ to ℓ+1. Vertex ⟨ℓ,c⟩ has id
+// ℓ·2^n + c.
+func FFTGraph(n int) *graph.Graph {
+	if n < 1 || n > 24 {
+		panic(fmt.Sprintf("ccc: unsupported FFT size %d", n))
+	}
+	cols := 1 << uint(n)
+	g := graph.New((n + 1) * cols)
+	for l := 0; l < n; l++ {
+		for col := 0; col < cols; col++ {
+			u := int32(l*cols + col)
+			g.AddEdge(u, int32((l+1)*cols+col))
+			g.AddEdge(u, int32((l+1)*cols+(col^1<<uint(l))))
+		}
+	}
+	return g
+}
+
+// EmbedButterflyInCCC maps the n-level butterfly into the n-level CCC
+// with dilation 2 and congestion 2 (§5.4): butterfly straight edges map
+// to CCC straight edges; butterfly cross edges ⟨ℓ,c⟩→⟨ℓ+1, c⊕2^ℓ⟩ map
+// to the CCC path cross-then-straight ⟨ℓ,c⟩→⟨ℓ,c⊕2^ℓ⟩→⟨ℓ+1,c⊕2^ℓ⟩.
+// The returned map is the identity on vertex ids; the second return
+// value routes each butterfly edge as a CCC vertex path.
+func EmbedButterflyInCCC(n int) (*Butterfly, *CCC, func(u, v int32) []int32) {
+	b := NewButterfly(n)
+	c := NewCCC(n)
+	route := func(u, v int32) []int32 {
+		lu, cu := b.Level(u), b.Col(u)
+		lv, cv := b.Level(v), b.Col(v)
+		if cu == cv { // straight
+			return []int32{c.ID(lu, cu), c.ID(lv, cv)}
+		}
+		// cross: detour within level lu, then straight up.
+		return []int32{c.ID(lu, cu), c.ID(lu, cv), c.ID(lv, cv)}
+	}
+	return b, c, route
+}

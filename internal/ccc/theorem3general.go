@@ -1,0 +1,96 @@
+package ccc
+
+import (
+	"fmt"
+
+	"multipath/internal/bitutil"
+	"multipath/internal/core"
+	"multipath/internal/hypercube"
+)
+
+// Theorem3General extends the multiple-copy CCC embedding to even n
+// that are not powers of two, per the paper's §5 footnote: "For other
+// values of n, the congestion for multiple-copy embeddings is, at
+// worst, doubled and some edges suffer dilation 2."
+//
+// The construction keeps the overlapping windows of Theorem 3 (over
+// r = ⌈log n⌉ signature dimensions) but replaces the full Gray cycle
+// H_r with the length-n Gray cycle of LevelCodes, shifted per copy.
+// Each copy is one-to-one but no longer onto (n·2^n < 2^{n+r}); the
+// measured edge-congestion is at most 4 (tests pin the exact values).
+func Theorem3General(n int) (*core.MultiCopy, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("ccc: Theorem3General requires even n ≥ 2, got %d", n)
+	}
+	if bitutil.IsPow2(n) {
+		return Theorem3(n)
+	}
+	r := bitutil.CeilLog2(n)
+	q := hypercube.New(n + r)
+	c := NewCCC(n)
+	g := c.Graph()
+	codes, _, _ := LevelCodes(n) // even n: a closed Gray cycle of length n
+
+	// For non-powers-of-two the power-of-two window formula can name a
+	// dimension ≥ n; such positions relocate to the spare dimension
+	// n+i, which the W̄ overflow rule then never uses for that i (the
+	// level that would have occupied window position i does not exist).
+	wDimG := func(k uint32, i int) int {
+		if d := wDim(k, i, r); d < n {
+			return d
+		}
+		return n + i
+	}
+	wBarDimG := func(k uint32, ell int) int {
+		if ell == 0 {
+			return 0
+		}
+		i := bitutil.FloorLog2(ell)
+		if i < r && wDimG(k, i) == ell {
+			return n + i
+		}
+		return ell
+	}
+	node := func(k uint32, level int, col uint32) hypercube.Node {
+		code := codes[level] ^ (k & (1<<uint(r) - 1))
+		var v uint32
+		for i := 0; i < r; i++ {
+			bit := (code >> uint(r-1-i)) & 1
+			v |= bit << uint(wDimG(k, i))
+		}
+		for l := 0; l < n; l++ {
+			v |= ((col >> uint(l)) & 1) << uint(wBarDimG(k, l))
+		}
+		return v
+	}
+	copies := make([]*core.Embedding, n)
+	for k := 0; k < n; k++ {
+		e := &core.Embedding{
+			Host:      q,
+			Guest:     g,
+			VertexMap: make([]hypercube.Node, g.N()),
+			Paths:     make([][]core.Path, g.M()),
+		}
+		for l := 0; l < n; l++ {
+			for col := uint32(0); col < uint32(c.Columns()); col++ {
+				e.VertexMap[c.ID(l, col)] = node(uint32(k), l, col)
+			}
+		}
+		for i, ge := range g.Edges() {
+			from, to := e.VertexMap[ge.U], e.VertexMap[ge.V]
+			if _, err := q.Dim(from, to); err == nil {
+				e.Paths[i] = []core.Path{{from, to}}
+				continue
+			}
+			// Dilation-2 edge (shifted codes may differ in two window
+			// bits): route greedily within the window dimensions.
+			p := core.GreedyAscendingPath(q, from, to)
+			if len(p)-1 > 2 {
+				return nil, fmt.Errorf("ccc: copy %d edge %d dilation %d", k, i, len(p)-1)
+			}
+			e.Paths[i] = []core.Path{p}
+		}
+		copies[k] = e
+	}
+	return &core.MultiCopy{Host: q, Copies: copies}, nil
+}

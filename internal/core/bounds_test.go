@@ -1,0 +1,61 @@
+package core_test
+
+// Cross-construction invariant: for every embedding the library builds,
+// the measured one-packet cost lies within the §3 sandwich
+// max(dilation, congestion) ≤ cost ≤ dilation · congestion.
+
+import (
+	"testing"
+
+	"multipath/internal/ccc"
+	"multipath/internal/core"
+	"multipath/internal/cycles"
+)
+
+func checkBounds(t *testing.T, name string, e *core.Embedding) {
+	t.Helper()
+	lo, hi, err := e.OnePacketCostBounds()
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	got, err := e.PPacketCost(1)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if got < lo || got > hi {
+		t.Errorf("%s: one-packet cost %d outside [%d, %d]", name, got, lo, hi)
+	}
+}
+
+func TestOnePacketSandwichAcrossConstructions(t *testing.T) {
+	if e, err := cycles.GrayCode(6); err == nil {
+		checkBounds(t, "graycode", e)
+	} else {
+		t.Error(err)
+	}
+	if e, err := cycles.Theorem1(8); err == nil {
+		checkBounds(t, "theorem1", e)
+	} else {
+		t.Error(err)
+	}
+	if e, err := cycles.Theorem2(8); err == nil {
+		checkBounds(t, "theorem2", e)
+	} else {
+		t.Error(err)
+	}
+	if e, err := ccc.GHREmbed(6); err == nil {
+		checkBounds(t, "ghr", e)
+	} else {
+		t.Error(err)
+	}
+	if e, err := ccc.LargeCopyCCC(6); err == nil {
+		checkBounds(t, "largecopy-ccc", e)
+	} else {
+		t.Error(err)
+	}
+	if e, err := ccc.LargeCopyCycle(6); err == nil {
+		checkBounds(t, "largecopy-cycle", e)
+	} else {
+		t.Error(err)
+	}
+}

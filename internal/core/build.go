@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"multipath/internal/graph"
+	"multipath/internal/hypercube"
+)
+
+// Construction helpers shared by the theorem packages.
+
+// DirectCycleEmbedding embeds the L-node directed cycle (guest vertex i
+// ↦ seq[i]) with one direct host edge per guest edge. seq must trace a
+// cycle in the host: consecutive nodes (cyclically) adjacent. This is
+// the shape of the classical Gray-code embedding (Figure 1) and of each
+// copy in Lemma 1's multiple-copy embedding.
+func DirectCycleEmbedding(q *hypercube.Q, seq []hypercube.Node) (*Embedding, error) {
+	L := len(seq)
+	if L < 2 {
+		return nil, fmt.Errorf("core: cycle too short")
+	}
+	g := graph.New(L)
+	for i := 0; i < L; i++ {
+		g.AddEdge(int32(i), int32((i+1)%L))
+	}
+	e := &Embedding{
+		Host:      q,
+		Guest:     g,
+		VertexMap: append([]hypercube.Node(nil), seq...),
+		Paths:     make([][]Path, L),
+	}
+	for i := 0; i < L; i++ {
+		e.Paths[i] = []Path{{seq[i], seq[(i+1)%L]}}
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// RouteDims builds the host path that starts at from and crosses the
+// given dimensions in order.
+func RouteDims(from hypercube.Node, dims ...int) Path {
+	p := make(Path, 0, len(dims)+1)
+	p = append(p, from)
+	cur := from
+	for _, d := range dims {
+		cur ^= 1 << uint(d)
+		p = append(p, cur)
+	}
+	return p
+}
+
+// GreedyAscendingPath routes from u to v by flipping differing
+// dimensions in ascending order (the e-cube route). Its length is the
+// Hamming distance between u and v.
+func GreedyAscendingPath(q *hypercube.Q, u, v hypercube.Node) Path {
+	p := Path{u}
+	cur := u
+	for d := 0; d < q.Dims(); d++ {
+		if (cur^v)&(1<<uint(d)) != 0 {
+			cur ^= 1 << uint(d)
+			p = append(p, cur)
+		}
+	}
+	return p
+}
+
+// DisjointPaths returns n edge-disjoint paths of length ≤ 2 + distance
+// between distinct hypercube nodes u, v — the classical construction
+// used by the fault-tolerance example: path i first crosses a rotation
+// of the differing dimensions (a distinct first dimension per path),
+// then, if i exceeds the Hamming distance, detours through a non-
+// differing dimension and back.
+func DisjointPaths(q *hypercube.Q, u, v hypercube.Node) []Path {
+	n := q.Dims()
+	diff := u ^ v
+	var dims, rest []int
+	for d := 0; d < n; d++ {
+		if diff&(1<<uint(d)) != 0 {
+			dims = append(dims, d)
+		} else {
+			rest = append(rest, d)
+		}
+	}
+	paths := make([]Path, 0, n)
+	k := len(dims)
+	// k rotations of the differing dimensions: path i crosses
+	// dims[i], dims[i+1], ..., wrapping. All edge-disjoint.
+	for i := 0; i < k; i++ {
+		order := make([]int, 0, k)
+		for t := 0; t < k; t++ {
+			order = append(order, dims[(i+t)%k])
+		}
+		paths = append(paths, RouteDims(u, order...))
+	}
+	// n-k detour paths: cross a non-differing dimension d, then all
+	// differing dimensions (in rotation-invariant order), then d back.
+	for _, d := range rest {
+		order := make([]int, 0, k+2)
+		order = append(order, d)
+		order = append(order, dims...)
+		order = append(order, d)
+		paths = append(paths, RouteDims(u, order...))
+	}
+	return paths
+}
+
+// Widen replaces every single-path, dilation-1 edge of an embedding
+// with up to w of the classical edge-disjoint paths between its
+// endpoints (DisjointPaths). The result has per-edge width w — but
+// nothing coordinates paths *across* edges, so neighboring edges'
+// detours collide and the congestion (and with it the packet cost)
+// grows with w. This is the naive foil to Theorem 1, which chooses
+// detours globally so that the same width costs only 3 steps.
+func Widen(e *Embedding, w int) (*Embedding, error) {
+	if w < 1 || w > e.Host.Dims() {
+		return nil, fmt.Errorf("core: width %d outside [1, n]", w)
+	}
+	out := &Embedding{
+		Host:      e.Host,
+		Guest:     e.Guest,
+		VertexMap: e.VertexMap,
+		Paths:     make([][]Path, len(e.Paths)),
+	}
+	for i, ps := range e.Paths {
+		if len(ps) != 1 || len(ps[0]) != 2 {
+			return nil, fmt.Errorf("core: edge %d is not a single direct path", i)
+		}
+		paths := DisjointPaths(e.Host, ps[0][0], ps[0][1])
+		if len(paths) < w {
+			return nil, fmt.Errorf("core: only %d disjoint paths available", len(paths))
+		}
+		out.Paths[i] = paths[:w]
+	}
+	return out, nil
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Packet-cost measurement under the paper's model: in one time unit
+// each processor can send one packet over each outgoing link (§3).
+
+// SynchronizedCost checks the schedule used by Theorems 1, 2 and 4: one
+// packet is injected on every path of every guest edge at step 1, and
+// each packet advances one hop per step with no queueing. If no two
+// packets cross the same directed host edge in the same step, the cost
+// is the maximum path length; otherwise an error describes the first
+// collision.
+func (e *Embedding) SynchronizedCost() (int, error) {
+	type slot struct {
+		edge, step int
+	}
+	seen := make(map[slot][2]int) // -> (guest edge, path index)
+	cost := 0
+	for i, ps := range e.Paths {
+		for j, p := range ps {
+			ids, err := e.Host.PathEdgeIDs(p)
+			if err != nil {
+				return 0, err
+			}
+			if len(ids) > cost {
+				cost = len(ids)
+			}
+			for t, id := range ids {
+				s := slot{id, t}
+				if prev, dup := seen[s]; dup {
+					ed := e.Host.EdgeOf(id)
+					return 0, fmt.Errorf("core: step %d: host edge (%d,dim %d) claimed by guest edge %d path %d and guest edge %d path %d",
+						t+1, ed.From, ed.Dim, prev[0], prev[1], i, j)
+				}
+				seen[s] = [2]int{i, j}
+			}
+		}
+	}
+	return cost, nil
+}
+
+// PPacketCost simulates one phase in which every guest edge carries p
+// packets, spread round-robin over the edge's paths, with store-and-
+// forward queueing: each directed host edge transmits at most one
+// packet per step (FIFO by arrival, ties broken by injection order).
+// It returns the number of steps until every packet is delivered.
+//
+// This is the measured counterpart of the paper's p-packet cost: for
+// Theorem 1's embedding PPacketCost(⌊n/2⌋) = 3, and for the classical
+// Gray-code embedding PPacketCost(m) = m.
+func (e *Embedding) PPacketCost(p int) (int, error) {
+	if p < 1 {
+		return 0, fmt.Errorf("core: p must be positive")
+	}
+	type packet struct {
+		route []int // dense host edge ids
+		pos   int   // next edge to traverse
+		ready int   // step after which it may next move
+	}
+	var pkts []*packet
+	for _, ps := range e.Paths {
+		routes := make([][]int, len(ps))
+		for j, path := range ps {
+			ids, err := e.Host.PathEdgeIDs(path)
+			if err != nil {
+				return 0, err
+			}
+			routes[j] = ids
+		}
+		for k := 0; k < p; k++ {
+			r := routes[k%len(routes)]
+			if len(r) == 0 {
+				continue // co-located endpoints: delivered at cost 0
+			}
+			pkts = append(pkts, &packet{route: r})
+		}
+	}
+	// queues[edge] holds the indices of packets waiting to cross it.
+	queues := make(map[int][]int)
+	for i, pk := range pkts {
+		queues[pk.route[0]] = append(queues[pk.route[0]], i)
+	}
+	remaining := len(pkts)
+	step := 0
+	for remaining > 0 {
+		step++
+		if step > 4*(len(pkts)+16) {
+			return 0, fmt.Errorf("core: packet simulation did not converge")
+		}
+		// Deterministic iteration order over occupied edges.
+		edges := make([]int, 0, len(queues))
+		for id := range queues {
+			edges = append(edges, id)
+		}
+		sort.Ints(edges)
+		for _, id := range edges {
+			q := queues[id]
+			// Find the first packet that is allowed to move this step
+			// (arrived before this step began).
+			sel := -1
+			for qi, pi := range q {
+				if pkts[pi].ready < step {
+					sel = qi
+					break
+				}
+			}
+			if sel < 0 {
+				continue
+			}
+			pi := q[sel]
+			queues[id] = append(q[:sel:sel], q[sel+1:]...)
+			if len(queues[id]) == 0 {
+				delete(queues, id)
+			}
+			pk := pkts[pi]
+			pk.pos++
+			pk.ready = step
+			if pk.pos == len(pk.route) {
+				remaining--
+			} else {
+				queues[pk.route[pk.pos]] = append(queues[pk.route[pk.pos]], pi)
+			}
+		}
+	}
+	return step, nil
+}
+
+// OnePacketCostBounds returns the §3 sandwich for the one-packet cost:
+// at least the latency floor (for a classical single-path embedding,
+// max(dilation, congestion); for a width-w embedding a lone packet may
+// ride each edge's shortest path, so the floor is MinDilation) and at
+// most dilation × congestion (Leighton, Maggs & Rao [19] tighten the
+// upper bound to O(dilation + congestion)). Tests assert the measured
+// PPacketCost(1) falls inside these bounds for every construction.
+func (e *Embedding) OnePacketCostBounds() (lower, upper int, err error) {
+	c, err := e.Congestion()
+	if err != nil {
+		return 0, 0, err
+	}
+	d := e.Dilation()
+	lower = e.MinDilation()
+	singlePath := true
+	for _, ps := range e.Paths {
+		if len(ps) != 1 {
+			singlePath = false
+			break
+		}
+	}
+	if singlePath && c > lower {
+		lower = c
+	}
+	upper = d * c
+	if upper < lower {
+		upper = lower
+	}
+	return lower, upper, nil
+}

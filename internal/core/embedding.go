@@ -1,0 +1,212 @@
+// Package core defines the embedding abstractions of Greenberg & Bhatt
+// §3 — one-to-one and many-to-one embeddings, multiple-path (width-w)
+// embeddings, and multiple-copy embeddings — together with independent
+// verifiers for every metric the paper bounds: load, dilation,
+// congestion, width (edge-disjointness), and packet cost under the
+// paper's unit-capacity step model.
+//
+// Constructors in other packages (Theorem 1, Theorem 2, Theorem 3, ...)
+// return these structures; tests never trust a constructor's claimed
+// metrics but re-derive them here.
+package core
+
+import (
+	"fmt"
+
+	"multipath/internal/graph"
+	"multipath/internal/hypercube"
+)
+
+// Path is a host path: a sequence of hypercube nodes in which
+// consecutive entries are neighbors. A single node is a legal
+// (length-0) path only as the image of a guest edge whose endpoints
+// are co-located under a many-to-one map.
+type Path []hypercube.Node
+
+// Embedding maps a guest graph into a hypercube host. VertexMap[v] is
+// the host image of guest vertex v (many-to-one allowed); Paths[i] is
+// the set of host paths assigned to the i-th guest edge (parallel to
+// Guest.Edges()). A classical embedding has exactly one path per edge;
+// a width-w multiple-path embedding has w edge-disjoint paths per edge.
+type Embedding struct {
+	Host      *hypercube.Q
+	Guest     *graph.Graph
+	VertexMap []hypercube.Node
+	Paths     [][]Path
+}
+
+// Validate checks structural integrity: vertex map in range, one path
+// set per guest edge, every path a valid hypercube path connecting the
+// images of its edge's endpoints.
+func (e *Embedding) Validate() error {
+	if len(e.VertexMap) != e.Guest.N() {
+		return fmt.Errorf("embedding: vertex map covers %d of %d guest vertices", len(e.VertexMap), e.Guest.N())
+	}
+	for v, h := range e.VertexMap {
+		if !e.Host.Contains(h) {
+			return fmt.Errorf("embedding: vertex %d mapped outside host: %d", v, h)
+		}
+	}
+	if len(e.Paths) != e.Guest.M() {
+		return fmt.Errorf("embedding: %d path sets for %d guest edges", len(e.Paths), e.Guest.M())
+	}
+	for i, ps := range e.Paths {
+		ge := e.Guest.Edge(i)
+		from, to := e.VertexMap[ge.U], e.VertexMap[ge.V]
+		if len(ps) == 0 {
+			return fmt.Errorf("embedding: guest edge %d has no paths", i)
+		}
+		for j, p := range ps {
+			if len(p) == 0 {
+				return fmt.Errorf("embedding: guest edge %d path %d empty", i, j)
+			}
+			if _, err := e.Host.CheckPath(p); err != nil {
+				return fmt.Errorf("embedding: guest edge %d path %d: %w", i, j, err)
+			}
+			if p[0] != from || p[len(p)-1] != to {
+				return fmt.Errorf("embedding: guest edge %d path %d connects %d→%d, want %d→%d",
+					i, j, p[0], p[len(p)-1], from, to)
+			}
+		}
+	}
+	return nil
+}
+
+// Load returns the maximum number of guest vertices mapped to one host
+// node.
+func (e *Embedding) Load() int {
+	counts := make([]int, e.Host.Nodes())
+	max := 0
+	for _, h := range e.VertexMap {
+		counts[h]++
+		if counts[h] > max {
+			max = counts[h]
+		}
+	}
+	return max
+}
+
+// Dilation returns the maximum path length over all paths of all guest
+// edges.
+func (e *Embedding) Dilation() int {
+	max := 0
+	for _, ps := range e.Paths {
+		for _, p := range ps {
+			if len(p)-1 > max {
+				max = len(p) - 1
+			}
+		}
+	}
+	return max
+}
+
+// MinDilation returns, maximized over guest edges, the length of the
+// edge's shortest assigned path — the latency floor when only the best
+// path is used.
+func (e *Embedding) MinDilation() int {
+	max := 0
+	for _, ps := range e.Paths {
+		best := -1
+		for _, p := range ps {
+			if best < 0 || len(p)-1 < best {
+				best = len(p) - 1
+			}
+		}
+		if best > max {
+			max = best
+		}
+	}
+	return max
+}
+
+// Width verifies that every guest edge's paths are pairwise
+// edge-disjoint and returns the minimum number of paths assigned to any
+// guest edge. An error identifies the first overlap found.
+func (e *Embedding) Width() (int, error) {
+	width := -1
+	for i, ps := range e.Paths {
+		seen := make(map[int]int)
+		for j, p := range ps {
+			ids, err := e.Host.PathEdgeIDs(p)
+			if err != nil {
+				return 0, fmt.Errorf("embedding: guest edge %d path %d: %w", i, j, err)
+			}
+			for _, id := range ids {
+				if prev, dup := seen[id]; dup {
+					ed := e.Host.EdgeOf(id)
+					return 0, fmt.Errorf("embedding: guest edge %d: paths %d and %d share host edge (%d,dim %d)",
+						i, prev, j, ed.From, ed.Dim)
+				}
+				seen[id] = j
+			}
+		}
+		if width < 0 || len(ps) < width {
+			width = len(ps)
+		}
+	}
+	if width < 0 {
+		width = 0
+	}
+	return width, nil
+}
+
+// Congestion returns the maximum, over directed host edges, of the
+// number of guest-edge paths whose image contains that edge (§3: for a
+// width-w embedding each guest edge contributes at most once per host
+// edge because its paths are edge-disjoint).
+func (e *Embedding) Congestion() (int, error) {
+	counts := make([]int, e.Host.DirectedEdges())
+	for _, ps := range e.Paths {
+		for _, p := range ps {
+			ids, err := e.Host.PathEdgeIDs(p)
+			if err != nil {
+				return 0, err
+			}
+			for _, id := range ids {
+				counts[id]++
+			}
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	return max, nil
+}
+
+// LinkUtilization returns the fraction of directed host edges used by
+// at least one path. Theorem 1 uses about half the links; Theorem 2
+// with n ≡ 0 (mod 4) uses all of them.
+func (e *Embedding) LinkUtilization() (float64, error) {
+	counts := make([]bool, e.Host.DirectedEdges())
+	used := 0
+	for _, ps := range e.Paths {
+		for _, p := range ps {
+			ids, err := e.Host.PathEdgeIDs(p)
+			if err != nil {
+				return 0, err
+			}
+			for _, id := range ids {
+				if !counts[id] {
+					counts[id] = true
+					used++
+				}
+			}
+		}
+	}
+	return float64(used) / float64(e.Host.DirectedEdges()), nil
+}
+
+// OneToOne reports whether the vertex map is injective.
+func (e *Embedding) OneToOne() bool {
+	seen := make([]bool, e.Host.Nodes())
+	for _, h := range e.VertexMap {
+		if seen[h] {
+			return false
+		}
+		seen[h] = true
+	}
+	return true
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"multipath/internal/hypercube"
+)
+
+// MultiCopy is a k-copy embedding (§3): a collection of one-to-one
+// embeddings of the same guest graph into the same host. Its
+// edge-congestion sums the per-copy congestion on every host edge.
+type MultiCopy struct {
+	Host   *hypercube.Q
+	Copies []*Embedding
+}
+
+// Validate checks every copy: structurally valid, one-to-one, same host
+// and guest shape (vertex and edge counts).
+func (m *MultiCopy) Validate() error {
+	if len(m.Copies) == 0 {
+		return fmt.Errorf("multicopy: no copies")
+	}
+	first := m.Copies[0]
+	for k, c := range m.Copies {
+		if c.Host != m.Host {
+			return fmt.Errorf("multicopy: copy %d has a different host", k)
+		}
+		if c.Guest.N() != first.Guest.N() || c.Guest.M() != first.Guest.M() {
+			return fmt.Errorf("multicopy: copy %d guest shape differs", k)
+		}
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("multicopy: copy %d: %w", k, err)
+		}
+		if !c.OneToOne() {
+			return fmt.Errorf("multicopy: copy %d is not one-to-one", k)
+		}
+	}
+	return nil
+}
+
+// EdgeCongestion returns the maximum, over directed host edges, of the
+// total number of guest-edge paths (across all copies) using that edge.
+func (m *MultiCopy) EdgeCongestion() (int, error) {
+	counts := make([]int, m.Host.DirectedEdges())
+	for k, c := range m.Copies {
+		for _, ps := range c.Paths {
+			for _, p := range ps {
+				ids, err := m.Host.PathEdgeIDs(p)
+				if err != nil {
+					return 0, fmt.Errorf("multicopy: copy %d: %w", k, err)
+				}
+				for _, id := range ids {
+					counts[id]++
+				}
+			}
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	return max, nil
+}
+
+// Dilation returns the maximum dilation over all copies.
+func (m *MultiCopy) Dilation() int {
+	max := 0
+	for _, c := range m.Copies {
+		if d := c.Dilation(); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// NodeLoad returns the maximum number of guest vertices (across all
+// copies) hosted by one hypercube node. A k-copy embedding has node
+// load at most k, exactly k when the copies tile the host.
+func (m *MultiCopy) NodeLoad() int {
+	counts := make([]int, m.Host.Nodes())
+	max := 0
+	for _, c := range m.Copies {
+		for _, h := range c.VertexMap {
+			counts[h]++
+			if counts[h] > max {
+				max = counts[h]
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,70 @@
+package core
+
+import "fmt"
+
+// Launch plans one packet: it enters path Path of its guest edge at the
+// beginning of step Start+1 and advances one hop per step with no
+// queueing.
+type Launch struct {
+	Path  int
+	Start int
+}
+
+// ScheduleCost verifies an explicit launch plan: launches[i] lists the
+// packets sent for guest edge i. Every packet must fit its path with no
+// two packets crossing the same directed host edge in the same step;
+// the returned cost is the step in which the last packet arrives.
+//
+// This checks the paper's refined claims exactly — e.g. Theorem 1's
+// (2k+2)-packet cost 3 schedule sends a second packet down each direct
+// edge at step 3, a slot the greedy simulator of PPacketCost does not
+// discover on its own.
+func (e *Embedding) ScheduleCost(launches [][]Launch) (int, error) {
+	if len(launches) != len(e.Paths) {
+		return 0, fmt.Errorf("core: %d launch sets for %d guest edges", len(launches), len(e.Paths))
+	}
+	type slot struct{ edge, step int }
+	seen := make(map[slot][2]int)
+	cost := 0
+	for i, ls := range launches {
+		for li, l := range ls {
+			if l.Path < 0 || l.Path >= len(e.Paths[i]) {
+				return 0, fmt.Errorf("core: guest edge %d launch %d: path %d out of range", i, li, l.Path)
+			}
+			if l.Start < 0 {
+				return 0, fmt.Errorf("core: guest edge %d launch %d: negative start", i, li)
+			}
+			ids, err := e.Host.PathEdgeIDs(e.Paths[i][l.Path])
+			if err != nil {
+				return 0, err
+			}
+			for t, id := range ids {
+				s := slot{id, l.Start + t}
+				if prev, dup := seen[s]; dup {
+					ed := e.Host.EdgeOf(id)
+					return 0, fmt.Errorf("core: step %d: host edge (%d,dim %d) claimed by guest edge %d and guest edge %d",
+						l.Start+t+1, ed.From, ed.Dim, prev[0], i)
+				}
+				seen[s] = [2]int{i, li}
+			}
+			if end := l.Start + len(ids); end > cost {
+				cost = end
+			}
+		}
+	}
+	return cost, nil
+}
+
+// UniformLaunches builds the plan that sends one packet on every path
+// of every guest edge at step 1 — the plan SynchronizedCost checks.
+func (e *Embedding) UniformLaunches() [][]Launch {
+	out := make([][]Launch, len(e.Paths))
+	for i, ps := range e.Paths {
+		ls := make([]Launch, len(ps))
+		for j := range ps {
+			ls[j] = Launch{Path: j}
+		}
+		out[i] = ls
+	}
+	return out
+}

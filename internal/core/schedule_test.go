@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"multipath/internal/graph"
+	"multipath/internal/hypercube"
+)
+
+func twoPathEmbedding(t *testing.T) *Embedding {
+	t.Helper()
+	q := hypercube.New(3)
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	e := &Embedding{
+		Host:      q,
+		Guest:     g,
+		VertexMap: []hypercube.Node{0, 1},
+		Paths: [][]Path{{
+			RouteDims(0, 0),       // direct
+			RouteDims(0, 1, 0, 1), // detour via dim 1
+		}},
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestUniformLaunchesMatchSynchronized(t *testing.T) {
+	e := twoPathEmbedding(t)
+	c1, err := e.SynchronizedCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := e.ScheduleCost(e.UniformLaunches())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Errorf("synchronized %d vs uniform schedule %d", c1, c2)
+	}
+}
+
+func TestScheduleCostOffsets(t *testing.T) {
+	e := twoPathEmbedding(t)
+	// A second packet on the direct path at step 2 extends the cost.
+	launches := e.UniformLaunches()
+	launches[0] = append(launches[0], Launch{Path: 0, Start: 3})
+	c, err := e.ScheduleCost(launches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 4 {
+		t.Errorf("cost %d, want 4", c)
+	}
+}
+
+func TestScheduleCostDetectsCollision(t *testing.T) {
+	e := twoPathEmbedding(t)
+	launches := e.UniformLaunches()
+	// Duplicate launch of the direct path at the same step collides.
+	launches[0] = append(launches[0], Launch{Path: 0, Start: 0})
+	if _, err := e.ScheduleCost(launches); err == nil {
+		t.Error("colliding launches accepted")
+	}
+}
+
+func TestScheduleCostValidation(t *testing.T) {
+	e := twoPathEmbedding(t)
+	if _, err := e.ScheduleCost(nil); err == nil {
+		t.Error("wrong launch set count accepted")
+	}
+	bad := e.UniformLaunches()
+	bad[0][0].Path = 7
+	if _, err := e.ScheduleCost(bad); err == nil {
+		t.Error("out-of-range path accepted")
+	}
+	bad2 := e.UniformLaunches()
+	bad2[0][0].Start = -1
+	if _, err := e.ScheduleCost(bad2); err == nil {
+		t.Error("negative start accepted")
+	}
+}
+
+func TestStepUtilization(t *testing.T) {
+	e := twoPathEmbedding(t)
+	su, err := e.StepUtilization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(su) != 3 {
+		t.Fatalf("%d steps", len(su))
+	}
+	// 24 directed edges in Q_3; step 1 uses 2 (direct + detour first),
+	// steps 2 and 3 one each.
+	if su[0] != 2.0/24 || su[1] != 1.0/24 || su[2] != 1.0/24 {
+		t.Errorf("utilization %v", su)
+	}
+}
+
+func TestOnePacketBoundsSinglePathUsesCongestion(t *testing.T) {
+	// Two guest edges sharing one host edge: congestion 2 raises the
+	// single-path lower bound above the dilation.
+	q := hypercube.New(3)
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 1)
+	e := &Embedding{
+		Host:      q,
+		Guest:     g,
+		VertexMap: []hypercube.Node{0, 1, 0},
+		Paths: [][]Path{
+			{{0, 1}},
+			{{0, 1}},
+		},
+	}
+	lo, hi, err := e.OnePacketCostBounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 2 || hi != 2 {
+		t.Errorf("bounds %d/%d, want 2/2", lo, hi)
+	}
+	got, err := e.PPacketCost(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("measured %d", got)
+	}
+}
+
+func TestMultiCopyValidateHostMismatch(t *testing.T) {
+	q1 := hypercube.New(3)
+	q2 := hypercube.New(3)
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	mk := func(q *hypercube.Q) *Embedding {
+		return &Embedding{
+			Host:      q,
+			Guest:     g,
+			VertexMap: []hypercube.Node{0, 1},
+			Paths:     [][]Path{{{0, 1}}},
+		}
+	}
+	mc := &MultiCopy{Host: q1, Copies: []*Embedding{mk(q1), mk(q2)}}
+	if err := mc.Validate(); err == nil {
+		t.Error("host mismatch accepted")
+	}
+	// Guest shape mismatch.
+	g2 := graph.New(3)
+	g2.AddEdge(0, 1)
+	other := &Embedding{Host: q1, Guest: g2, VertexMap: []hypercube.Node{0, 1, 2}, Paths: [][]Path{{{0, 1}}}}
+	mc2 := &MultiCopy{Host: q1, Copies: []*Embedding{mk(q1), other}}
+	if err := mc2.Validate(); err == nil {
+		t.Error("guest shape mismatch accepted")
+	}
+}

@@ -1,0 +1,31 @@
+package core
+
+// StepUtilization returns, for each step t of the synchronized
+// schedule (all paths launched together, one hop per step), the
+// fraction of directed host edges that carry a packet at step t+1.
+// Theorem 1 keeps roughly half the links busy at each of its three
+// steps; Theorem 2 with n ≡ 0 (mod 4) keeps all of them busy.
+func (e *Embedding) StepUtilization() ([]float64, error) {
+	steps := e.Dilation()
+	used := make([]map[int]bool, steps)
+	for t := range used {
+		used[t] = make(map[int]bool)
+	}
+	for _, ps := range e.Paths {
+		for _, p := range ps {
+			ids, err := e.Host.PathEdgeIDs(p)
+			if err != nil {
+				return nil, err
+			}
+			for t, id := range ids {
+				used[t][id] = true
+			}
+		}
+	}
+	total := float64(e.Host.DirectedEdges())
+	out := make([]float64, steps)
+	for t := range out {
+		out[t] = float64(len(used[t])) / total
+	}
+	return out, nil
+}

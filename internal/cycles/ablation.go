@@ -1,0 +1,93 @@
+package cycles
+
+import (
+	"fmt"
+
+	"multipath/internal/bitutil"
+	"multipath/internal/core"
+	"multipath/internal/hamdecomp"
+	"multipath/internal/hypercube"
+)
+
+// Ablations: variants of the Theorem 1 construction that drop one
+// design ingredient each, used to demonstrate (in tests and in
+// EXPERIMENTS.md) that the ingredient is load-bearing.
+
+// Labeler selects the special cycle for a column name.
+type Labeler func(ly *theorem1Layout, name uint32) int
+
+// MomentLabel is Theorem 1's choice: the moment reduced to log a bits.
+// Neighboring columns always receive distinct cycles, so projections
+// are edge-disjoint and the synchronized cost is 3.
+func MomentLabel(ly *theorem1Layout, name uint32) int { return ly.label(name) }
+
+// PositionLabel is the ablation: label by the position's low bits.
+// Columns adjacent across a high position dimension share a label, so
+// their special-cycle projections collide and the synchronized
+// schedule has step-2 conflicts.
+func PositionLabel(ly *theorem1Layout, name uint32) int {
+	return int(ly.part.Position(name)) & (ly.a - 1)
+}
+
+// ConstantLabel is the extreme ablation: every column uses cycle 0.
+func ConstantLabel(ly *theorem1Layout, name uint32) int { return 0 }
+
+// Theorem1WithLabeler builds the Theorem 1 structure with an arbitrary
+// cycle labeler. With MomentLabel it is exactly Theorem1; other
+// labelers produce structurally valid embeddings whose step-2 middle
+// edges collide — Width() and SynchronizedCost() expose the damage.
+func Theorem1WithLabeler(n int, label Labeler) (*core.Embedding, error) {
+	ly, err := newLayout(n)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := hamdecomp.Decompose(ly.a)
+	if err != nil {
+		return nil, err
+	}
+	succ := successors(dec.Directed(), 1<<uint(ly.a))
+
+	rowsPerCol := 1 << uint(ly.a)
+	cols := 1 << uint(ly.b)
+	seq := make([]hypercube.Node, 0, ly.q.Nodes())
+	gray := bitutil.GraySequence(ly.b)
+	row, col := uint32(0), uint32(0)
+	for ci := 0; ci < cols; ci++ {
+		s := succ[label(ly, col)]
+		for t := 0; t < rowsPerCol; t++ {
+			seq = append(seq, ly.part.Node(row, col))
+			if t < rowsPerCol-1 {
+				row = s[row]
+			}
+		}
+		col ^= 1 << uint(gray[ci])
+	}
+	if row != 0 || col != 0 {
+		return nil, fmt.Errorf("cycles: ablated C did not close (row %d, col %d)", row, col)
+	}
+	e := &core.Embedding{
+		Host:      ly.q,
+		Guest:     guestCycle(len(seq)),
+		VertexMap: seq,
+		Paths:     make([][]core.Path, len(seq)),
+	}
+	for i, u := range seq {
+		v := seq[(i+1)%len(seq)]
+		d, err := ly.q.Dim(u, v)
+		if err != nil {
+			return nil, fmt.Errorf("cycles: ablated C step %d: %w", i, err)
+		}
+		paths := make([]core.Path, 0, ly.a+1)
+		paths = append(paths, core.RouteDims(u, d))
+		detourBase := ly.r
+		if d < ly.b {
+			detourBase = ly.b
+		}
+		for j := 0; j < ly.a; j++ {
+			k := detourBase + j
+			paths = append(paths, core.RouteDims(u, k, d, k))
+		}
+		e.Paths[i] = paths
+	}
+	return e, nil
+}

@@ -1,0 +1,59 @@
+package cycles
+
+import (
+	"strings"
+	"testing"
+)
+
+// The moment labeling is load-bearing: replacing it with a positional
+// or constant cycle assignment keeps the construction well-formed (the
+// cycle C still closes, since the column count is a multiple of the
+// row-subcube size) but neighboring columns now share special cycles,
+// so their projected middle edges collide at step 2 — the synchronized
+// cost-3 schedule is impossible.
+func TestAblatedLabelersCollideAtStepTwo(t *testing.T) {
+	for _, n := range []int{8, 9, 10, 12} {
+		for name, lab := range map[string]Labeler{
+			"position": PositionLabel,
+			"constant": ConstantLabel,
+		} {
+			e, err := Theorem1WithLabeler(n, lab)
+			if err != nil {
+				t.Fatalf("n=%d %s: construction failed: %v", n, name, err)
+			}
+			// Structure is still a valid embedding...
+			if err := e.Validate(); err != nil {
+				t.Fatalf("n=%d %s: %v", n, name, err)
+			}
+			// ...but the synchronized schedule collides, at step 2.
+			if _, err := e.SynchronizedCost(); err == nil {
+				t.Errorf("n=%d %s: ablated labeler unexpectedly collision-free", n, name)
+			} else if !strings.Contains(err.Error(), "step 2") {
+				t.Errorf("n=%d %s: collision not at step 2: %v", n, name, err)
+			}
+		}
+	}
+}
+
+// The moment labeler reproduces Theorem1 exactly.
+func TestMomentLabelerMatchesTheorem1(t *testing.T) {
+	a, err := Theorem1WithLabeler(8, MomentLabel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Theorem1(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.VertexMap) != len(b.VertexMap) {
+		t.Fatal("size mismatch")
+	}
+	for i := range a.VertexMap {
+		if a.VertexMap[i] != b.VertexMap[i] {
+			t.Fatalf("vertex map diverges at %d", i)
+		}
+	}
+	if c, err := a.SynchronizedCost(); err != nil || c != 3 {
+		t.Fatalf("moment labeler cost %d err %v", c, err)
+	}
+}

@@ -1,0 +1,377 @@
+package cycles
+
+import (
+	"testing"
+
+	"multipath/internal/bitutil"
+	"multipath/internal/core"
+	"multipath/internal/hamdecomp"
+	"multipath/internal/hypercube"
+)
+
+func TestRowSubcubeDim(t *testing.T) {
+	cases := map[int]int{4: 2, 5: 2, 6: 2, 7: 2, 8: 4, 11: 4, 12: 4, 15: 4, 16: 8, 19: 8, 20: 8, 31: 8}
+	for n, want := range cases {
+		if got := RowSubcubeDim(n); got != want {
+			t.Errorf("RowSubcubeDim(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestGrayCodeBaseline(t *testing.T) {
+	e, err := GrayCode(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Load() != 1 || e.Dilation() != 1 {
+		t.Fatalf("load=%d dilation=%d", e.Load(), e.Dilation())
+	}
+	// §2: m-packet cost is m — no speedup from a single path.
+	for _, m := range []int{1, 4, 16} {
+		c, err := e.PPacketCost(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != m {
+			t.Errorf("m=%d: cost %d", m, c)
+		}
+	}
+}
+
+func TestTheorem1AllMetrics(t *testing.T) {
+	for _, n := range []int{4, 5, 6, 7, 8, 9, 10, 11, 12} {
+		e, err := Theorem1(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := e.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		a := RowSubcubeDim(n)
+		if e.Guest.N() != 1<<uint(n) {
+			t.Fatalf("n=%d: guest size %d", n, e.Guest.N())
+		}
+		if e.Load() != 1 || !e.OneToOne() {
+			t.Errorf("n=%d: load %d", n, e.Load())
+		}
+		w, err := e.Width()
+		if err != nil {
+			t.Fatalf("n=%d: width: %v", n, err)
+		}
+		if w != a+1 {
+			t.Errorf("n=%d: width %d, want %d", n, w, a+1)
+		}
+		// The theorem's headline: all paths at once, 3 steps, no
+		// collision on any directed link at any step.
+		c, err := e.SynchronizedCost()
+		if err != nil {
+			t.Fatalf("n=%d: synchronized schedule collides: %v", n, err)
+		}
+		if c != 3 {
+			t.Errorf("n=%d: synchronized cost %d, want 3", n, c)
+		}
+		if d := e.Dilation(); d != 3 {
+			t.Errorf("n=%d: dilation %d", n, d)
+		}
+		if d := e.MinDilation(); d != 1 {
+			t.Errorf("n=%d: min dilation %d (direct path missing?)", n, d)
+		}
+	}
+}
+
+func TestTheorem1PacketCost(t *testing.T) {
+	// (a+2)-packet cost 3: a length-3 paths plus two packets on the
+	// direct path — the second at step 3, exactly the paper's
+	// refinement ("an additional packet can be sent along the direct
+	// path on step three").
+	for _, n := range []int{6, 8} {
+		e, err := Theorem1(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		launches := e.UniformLaunches()
+		for i := range launches {
+			launches[i] = append(launches[i], core.Launch{Path: 0, Start: 2})
+		}
+		c, err := e.ScheduleCost(launches)
+		if err != nil {
+			t.Fatalf("n=%d: paper schedule collides: %v", n, err)
+		}
+		if c != 3 {
+			t.Errorf("n=%d: (a+2)-packet scheduled cost %d, want 3", n, c)
+		}
+		// The greedy simulator, which launches the extra packet too
+		// early, pays at most one extra step.
+		a := RowSubcubeDim(n)
+		g, err := e.PPacketCost(a + 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g > 4 {
+			t.Errorf("n=%d: greedy (a+2)-packet cost %d", n, g)
+		}
+	}
+}
+
+func TestTheorem1SpeedupOverGray(t *testing.T) {
+	// The point of the paper: m-packet cost Θ(m/n) vs m.
+	const n, m = 8, 40
+	gray, err := GrayCode(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Theorem1(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := gray.PPacketCost(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := multi.PPacketCost(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg != m {
+		t.Errorf("gray cost %d", cg)
+	}
+	// m packets over width w in batches of 3 steps: about 3m/w steps,
+	// an asymptotic speedup of w/3 = Θ(n). For n=8 (w=5) greedy
+	// delivery measures 3·40/5 = 24 steps vs 40.
+	if cm >= cg {
+		t.Errorf("multi-path cost %d not better than gray %d", cm, cg)
+	}
+	w := RowSubcubeDim(n) + 1
+	if bound := 3*m/w + 6; cm > bound {
+		t.Errorf("multi-path cost %d exceeds batch bound %d", cm, bound)
+	}
+}
+
+func TestTheorem1HalfLinkUtilization(t *testing.T) {
+	// §4.2: "roughly speaking, half of all hypercube edges transmit a
+	// packet at each of the 3 steps". For n = 8, a = 4: step 1 uses
+	// (a+1)/n = 5/8 of the links (a detour firsts + the direct edge),
+	// steps 2 and 3 use a/n = 1/2 (middles and lasts of the detours).
+	e, err := Theorem1(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	su, err := e.StepUtilization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(su) != 3 {
+		t.Fatalf("steps = %d", len(su))
+	}
+	if su[0] != 5.0/8 {
+		t.Errorf("step 1 utilization %f, want 0.625", su[0])
+	}
+	if su[1] != 0.5 || su[2] != 0.5 {
+		t.Errorf("steps 2/3 utilization %f/%f, want 0.5", su[1], su[2])
+	}
+}
+
+func TestTheorem1RejectsTiny(t *testing.T) {
+	if _, err := Theorem1(3); err == nil {
+		t.Error("n=3 accepted")
+	}
+}
+
+func TestTheorem2AllMetrics(t *testing.T) {
+	for _, n := range []int{4, 5, 6, 7, 8, 9, 10, 11} {
+		e, err := Theorem2(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := e.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		a := RowSubcubeDim(n)
+		if e.Guest.N() != 1<<uint(n+1) {
+			t.Fatalf("n=%d: guest size %d, want 2^{n+1}", n, e.Guest.N())
+		}
+		if e.Load() != 2 {
+			t.Errorf("n=%d: load %d, want 2", n, e.Load())
+		}
+		w, err := e.Width()
+		if err != nil {
+			t.Fatalf("n=%d: width: %v", n, err)
+		}
+		if w != a {
+			t.Errorf("n=%d: width %d, want %d", n, w, a)
+		}
+		c, err := e.SynchronizedCost()
+		if err != nil {
+			t.Fatalf("n=%d: synchronized schedule collides: %v", n, err)
+		}
+		if c != 3 {
+			t.Errorf("n=%d: synchronized cost %d, want 3", n, c)
+		}
+	}
+}
+
+func TestTheorem2FullUtilization(t *testing.T) {
+	// n ≡ 0 (mod 4), n/2 a power of two: all links used.
+	e, err := Theorem2(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := e.LinkUtilization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 1.0 {
+		t.Errorf("utilization %f, want 1.0", u)
+	}
+}
+
+func TestTheorem2WidthMatchesLemma3(t *testing.T) {
+	// Lemma 3: no cost-3 embedding has width > ⌊n/2⌋; for n = 8, 16
+	// Theorem 2 meets the bound exactly.
+	for _, n := range []int{8, 16} {
+		if RowSubcubeDim(n) != WidthBound(n) {
+			t.Errorf("n=%d: constructed width %d vs bound %d", n, RowSubcubeDim(n), WidthBound(n))
+		}
+	}
+	// And never exceeds it.
+	for n := 4; n <= 26; n++ {
+		if RowSubcubeDim(n) > WidthBound(n) {
+			t.Errorf("n=%d: width %d exceeds Lemma 3 bound %d", n, RowSubcubeDim(n), WidthBound(n))
+		}
+	}
+}
+
+func TestMinDilationForWidth(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 3, 10: 3}
+	for w, want := range cases {
+		if got := MinDilationForWidth(w); got != want {
+			t.Errorf("MinDilationForWidth(%d) = %d, want %d", w, got, want)
+		}
+	}
+}
+
+// The union of Lemma 1's directed cycles is exactly the directed edge
+// set counted by Lemma 3's argument: sanity-check the counting bound
+// numerically for a few n.
+func TestLemma3Counting(t *testing.T) {
+	for _, n := range []int{6, 8, 10} {
+		// Edges needed at cost 3 with width w: ≥ 2^{n+1}·(w-1)·3 + 2^{n+1}
+		// (w-1 length-3 paths plus one shorter). Available: 3·n·2^n.
+		w := WidthBound(n)
+		needed := (1 << uint(n+1)) * ((w-1)*3 + 1)
+		available := 3 * n * (1 << uint(n))
+		if needed > available {
+			t.Errorf("n=%d: bound inconsistent: needed %d > available %d", n, needed, available)
+		}
+		// And width ⌊n/2⌋+1 would overflow for even n (the lemma's
+		// strict inequality: ≥ w-1 length-3 paths plus one more edge).
+		if n%2 == 0 {
+			needed = (1 << uint(n+1)) * (3*w + 1)
+			if needed <= available {
+				t.Errorf("n=%d: width %d should not fit at cost 3", n, w+1)
+			}
+		}
+	}
+}
+
+func TestTheorem2GuestIsEulerTourOfSpecialCycles(t *testing.T) {
+	// Every hypercube node appears exactly twice in the guest cycle.
+	e, err := Theorem2(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[hypercube.Node]int)
+	for _, v := range e.VertexMap {
+		counts[v]++
+	}
+	if len(counts) != 64 {
+		t.Fatalf("%d distinct nodes, want 64", len(counts))
+	}
+	for v, c := range counts {
+		if c != 2 {
+			t.Errorf("node %d appears %d times", v, c)
+		}
+	}
+}
+
+func BenchmarkTheorem1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Theorem1(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTheorem2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Theorem2(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecomposeForTheorems(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := hamdecomp.Decompose(8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// White-box structure of Theorem 2: the special-cycle union must give
+// every node in/out degree exactly 2 (one column edge, one row edge),
+// which is what makes the Euler tour a 2^{n+1}-cycle.
+func TestTheorem2GuestDegreeStructure(t *testing.T) {
+	e, err := Theorem2(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outDeg := make(map[hypercube.Node]int)
+	rowOut := make(map[hypercube.Node]int)
+	for i, u := range e.VertexMap {
+		v := e.VertexMap[(i+1)%len(e.VertexMap)]
+		d, err := e.Host.Dim(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outDeg[u]++
+		if d >= 4 { // row-subcube dims for n=8, a=4
+			rowOut[u]++
+		}
+	}
+	for v, c := range outDeg {
+		if c != 2 {
+			t.Fatalf("node %d out-degree %d", v, c)
+		}
+		if rowOut[v] != 1 {
+			t.Fatalf("node %d has %d column-special edges, want 1", v, rowOut[v])
+		}
+	}
+}
+
+// Theorem 1's guest cycle must traverse every column's special cycle
+// contiguously: exactly 2^b column transitions, in Gray-code order.
+func TestTheorem1VisitsColumnsInGrayOrder(t *testing.T) {
+	const n = 8
+	e, err := Theorem1(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const colMask = 0xf // b = 4 column bits for n=8
+	var transitions []uint32
+	prev := e.VertexMap[0] & colMask
+	for _, v := range e.VertexMap[1:] {
+		if c := v & colMask; c != prev {
+			transitions = append(transitions, c)
+			prev = c
+		}
+	}
+	if len(transitions) != 15 { // 2^4 - 1 internal transitions
+		t.Fatalf("%d column transitions", len(transitions))
+	}
+	for i, c := range transitions {
+		if want := bitutil.GrayValue(uint32(i + 1)); c != want {
+			t.Fatalf("transition %d reaches column %d, want Gray %d", i, c, want)
+		}
+	}
+}

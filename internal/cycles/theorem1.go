@@ -1,0 +1,166 @@
+// Package cycles implements the multiple-path cycle embeddings of
+// Greenberg & Bhatt §4: the classical Gray-code baseline (Figure 1),
+// Theorem 1's load-1 embedding of the 2^n-node directed cycle with
+// width ~n/2 and 3-step cost, Theorem 2's load-2 embedding of the
+// 2^{n+1}-node cycle that keeps (for n a power of two) every hypercube
+// link busy in every step, and Lemma 3's width/cost bounds.
+//
+// One deviation from the paper's statement is forced by arithmetic:
+// the moment-based special-cycle assignment needs every column to see
+// pairwise distinct special cycles across its a position-neighbors,
+// with only a cycles available — a partition of the position subcube
+// into total perfect codes, which exists iff a is a power of two
+// (each color class must have 2^a/a vertices). We therefore build the
+// construction over the largest power of two a ≤ ⌊n/2⌋: the paper's
+// exact widths are obtained for n ∈ {4..11, 16..19, 32..39, ...}, and
+// a width within a factor of two of ⌊n/2⌋ (still Θ(n), cost 3) for the
+// remaining n. See DESIGN.md for the counting argument.
+package cycles
+
+import (
+	"fmt"
+
+	"multipath/internal/bitutil"
+	"multipath/internal/core"
+	"multipath/internal/graph"
+	"multipath/internal/hamdecomp"
+	"multipath/internal/hypercube"
+)
+
+// RowSubcubeDim returns a: the number of row-subcube dimensions used by
+// Theorems 1 and 2 for host dimension n — the largest power of two not
+// exceeding n/2.
+func RowSubcubeDim(n int) int {
+	a := 2
+	for a*2 <= n/2 {
+		a *= 2
+	}
+	return a
+}
+
+// GrayCode returns the classical binary reflected Gray-code embedding
+// of the 2^n-node directed cycle (Figure 1): dilation 1, congestion 1,
+// width 1. Its m-packet cost is m.
+func GrayCode(n int) (*core.Embedding, error) {
+	q := hypercube.New(n)
+	return core.DirectCycleEmbedding(q, bitutil.HamiltonianCycle(n))
+}
+
+// theorem1Layout carries the shared partition data of Theorems 1 and 2.
+type theorem1Layout struct {
+	q    *hypercube.Q
+	part *hypercube.Partition
+	a    int // row-subcube dimensions (power of two)
+	b    int // column-name dimensions
+	r    int // block dimensions (b - a for Thm 2; n - 2a for Thm 1)
+}
+
+func newLayout(n int) (*theorem1Layout, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("cycles: need n ≥ 4, got %d", n)
+	}
+	a := RowSubcubeDim(n)
+	b := n - a
+	r := b - a
+	q := hypercube.New(n)
+	return &theorem1Layout{
+		q:    q,
+		part: hypercube.NewPartition(q, a, b, r),
+		a:    a,
+		b:    b,
+		r:    r,
+	}, nil
+}
+
+// label selects the special cycle for a column (or row) name: the
+// moment reduced to the low log a bits. Because a is a power of two and
+// XOR acts bitwise, the a position-neighbors of any column receive
+// pairwise distinct labels.
+func (ly *theorem1Layout) label(name uint32) int {
+	return int(bitutil.Moment(name)) & (ly.a - 1)
+}
+
+// successors converts directed Hamiltonian cycles of a subcube into
+// successor arrays.
+func successors(cycles [][]hypercube.Node, size int) [][]uint32 {
+	succ := make([][]uint32, len(cycles))
+	for i, c := range cycles {
+		s := make([]uint32, size)
+		for j, v := range c {
+			s[v] = c[(j+1)%len(c)]
+		}
+		succ[i] = s
+	}
+	return succ
+}
+
+// Theorem1 embeds the 2^n-node directed cycle into Q_n with load 1,
+// width a+1 (a = RowSubcubeDim(n) length-3 paths plus the direct edge)
+// and 3-step synchronized cost. For n with ⌊n/2⌋ a power of two this is
+// exactly the embedding of Theorem 1.
+func Theorem1(n int) (*core.Embedding, error) {
+	ly, err := newLayout(n)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := hamdecomp.Decompose(ly.a)
+	if err != nil {
+		return nil, err
+	}
+	succ := successors(dec.Directed(), 1<<uint(ly.a))
+
+	// Build the cycle C: visit columns in Gray-code order; within each
+	// column follow its special cycle through all 2^a rows.
+	rowsPerCol := 1 << uint(ly.a)
+	cols := 1 << uint(ly.b)
+	seq := make([]hypercube.Node, 0, ly.q.Nodes())
+	gray := bitutil.GraySequence(ly.b)
+	row, col := uint32(0), uint32(0)
+	for ci := 0; ci < cols; ci++ {
+		s := succ[ly.label(col)]
+		for t := 0; t < rowsPerCol; t++ {
+			seq = append(seq, ly.part.Node(row, col))
+			if t < rowsPerCol-1 {
+				row = s[row]
+			}
+		}
+		col ^= 1 << uint(gray[ci])
+	}
+	if row != 0 || col != 0 {
+		return nil, fmt.Errorf("cycles: C did not close at row 0 (row %d, col %d)", row, col)
+	}
+
+	e := &core.Embedding{
+		Host:      ly.q,
+		Guest:     guestCycle(len(seq)),
+		VertexMap: seq,
+		Paths:     make([][]core.Path, len(seq)),
+	}
+	for i, u := range seq {
+		v := seq[(i+1)%len(seq)]
+		d, err := ly.q.Dim(u, v)
+		if err != nil {
+			return nil, fmt.Errorf("cycles: C step %d: %w", i, err)
+		}
+		paths := make([]core.Path, 0, ly.a+1)
+		paths = append(paths, core.RouteDims(u, d)) // direct path first
+		detourBase := ly.r                          // position dims, for special edges
+		if d < ly.b {
+			detourBase = ly.b // row dims, for row edges
+		}
+		for j := 0; j < ly.a; j++ {
+			k := detourBase + j
+			paths = append(paths, core.RouteDims(u, k, d, k))
+		}
+		e.Paths[i] = paths
+	}
+	return e, nil
+}
+
+func guestCycle(L int) *graph.Graph {
+	g := graph.New(L)
+	for i := 0; i < L; i++ {
+		g.AddEdge(int32(i), int32((i+1)%L))
+	}
+	return g
+}

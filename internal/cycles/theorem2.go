@@ -1,0 +1,108 @@
+package cycles
+
+import (
+	"fmt"
+
+	"multipath/internal/core"
+	"multipath/internal/graph"
+	"multipath/internal/hamdecomp"
+	"multipath/internal/hypercube"
+)
+
+// Theorem2 embeds the 2^{n+1}-node directed cycle into Q_n with load 2,
+// width a = RowSubcubeDim(n), and 3-step synchronized cost. Every node
+// lies on two special cycles — one within its column (a cycle of the
+// row subcube Q_a) and one within its row (a cycle of the column
+// subcube Q_b) — and the guest cycle is an Eulerian tour of their
+// union. Each special edge is widened to a length-3 detour paths; no
+// direct path is added because each family's direct edges carry the
+// other family's first and last hops.
+//
+// For n ≡ 0 (mod 4) with n/2 a power of two (n = 8, 16, 32, ...) this
+// reproduces Theorem 2 exactly, including the full-utilization
+// property: every directed hypercube link is busy in every one of the
+// three steps.
+func Theorem2(n int) (*core.Embedding, error) {
+	ly, err := newLayout(n)
+	if err != nil {
+		return nil, err
+	}
+	decA, err := hamdecomp.Decompose(ly.a)
+	if err != nil {
+		return nil, err
+	}
+	decB, err := hamdecomp.Decompose(ly.b)
+	if err != nil {
+		return nil, err
+	}
+	colCycles := successors(decA.Directed(), 1<<uint(ly.a)) // cycles over rows
+	rowCycles := successors(decB.Directed(), 1<<uint(ly.b)) // cycles over columns
+	if len(rowCycles) < ly.a {
+		return nil, fmt.Errorf("cycles: Q_%d provides %d directed cycles, need %d", ly.b, len(rowCycles), ly.a)
+	}
+
+	// Union of all special cycles: every node has out-degree 2.
+	union := graph.New(ly.q.Nodes())
+	for v := uint32(0); v < uint32(ly.q.Nodes()); v++ {
+		row, col := ly.part.Row(v), ly.part.Col(v)
+		colNext := ly.part.Node(colCycles[ly.label(col)][row], col)
+		rowNext := ly.part.Node(row, rowCycles[ly.label(row)][col])
+		union.AddEdge(int32(v), int32(colNext))
+		union.AddEdge(int32(v), int32(rowNext))
+	}
+	tour, err := graph.EulerTour(union, 0)
+	if err != nil {
+		return nil, fmt.Errorf("cycles: special-cycle union has no Euler tour: %w", err)
+	}
+
+	seq := make([]hypercube.Node, len(tour))
+	for i, v := range tour {
+		seq[i] = hypercube.Node(v)
+	}
+	e := &core.Embedding{
+		Host:      ly.q,
+		Guest:     guestCycle(len(seq)),
+		VertexMap: seq,
+		Paths:     make([][]core.Path, len(seq)),
+	}
+	for i, u := range seq {
+		v := seq[(i+1)%len(seq)]
+		d, err := ly.q.Dim(u, v)
+		if err != nil {
+			return nil, fmt.Errorf("cycles: tour step %d: %w", i, err)
+		}
+		detourBase := ly.r // position dims, for column (row-subcube) edges
+		if d < ly.b {
+			detourBase = ly.b // row dims, for row (column-subcube) edges
+		}
+		paths := make([]core.Path, 0, ly.a)
+		for j := 0; j < ly.a; j++ {
+			k := detourBase + j
+			paths = append(paths, core.RouteDims(u, k, d, k))
+		}
+		e.Paths[i] = paths
+	}
+	return e, nil
+}
+
+// WidthBound returns Lemma 3's counting bound: a width-w, 3-step-cost
+// embedding of the 2^{n+1}-node cycle in Q_n requires w ≤ ⌊n/2⌋,
+// because the ≥ w-1 dilation-3 paths of each of the 2^{n+1} guest edges
+// must fit into the 3·n·2^n directed edge-steps available.
+func WidthBound(n int) int {
+	return n / 2
+}
+
+// MinDilationForWidth returns Lemma 3's first claim: the dilation
+// forced by width w between distinct hypercube nodes (w ≤ 2 paths fit
+// in length ≤ 2 only between nodes at distance ≤ 2; any third
+// edge-disjoint path has length ≥ 3).
+func MinDilationForWidth(w int) int {
+	if w <= 1 {
+		return 1
+	}
+	if w == 2 {
+		return 2
+	}
+	return 3
+}

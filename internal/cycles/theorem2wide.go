@@ -1,0 +1,121 @@
+package cycles
+
+import (
+	"fmt"
+
+	"multipath/internal/core"
+)
+
+// Theorem 2's second option: for n ≡ 2, 3 (mod 4) the paper trades one
+// step of cost for one more unit of width — width ⌊n/2⌋ at cost 4 — by
+// choosing one edge-disjoint cycle twice. Our power-of-two framework
+// realizes the same trade by adding an (a+1)-th detour path per guest
+// edge through a spare column dimension. The added projections are no
+// longer globally conflict-free (that is the duplicated-cycle
+// congestion the paper pays), so the extra paths launch one step late
+// and each edge's spare dimension is chosen greedily against the
+// occupied (link, step) slots; the resulting schedule is returned with
+// its verified cost.
+
+// WideEmbedding is Theorem2Wide's result: the widened embedding, the
+// collision-free launch plan, and its cost.
+type WideEmbedding struct {
+	*core.Embedding
+	Launches [][]core.Launch
+	Cost     int
+}
+
+// Theorem2Wide widens Theorem 2 to width a+1 = ⌊n/2⌋ (for n ≡ 2, 3 mod
+// 4) and schedules all paths within a few steps (the paper's cost is
+// 4; the greedy scheduler reports the cost it achieves, which tests pin
+// down). Requires at least two block dimensions, i.e. n ≥ 2a+2.
+func Theorem2Wide(n int) (*WideEmbedding, error) {
+	ly, err := newLayout(n)
+	if err != nil {
+		return nil, err
+	}
+	if ly.r < 2 {
+		return nil, fmt.Errorf("cycles: Theorem2Wide needs ≥ 2 block dimensions (n ≥ %d), got n=%d", 2*ly.a+2, n)
+	}
+	e, err := Theorem2(n)
+	if err != nil {
+		return nil, err
+	}
+
+	// Occupied (link, step) slots of the synchronized main schedule.
+	type slot struct{ link, step int }
+	used := make(map[slot]bool)
+	launches := make([][]core.Launch, len(e.Paths))
+	for i, ps := range e.Paths {
+		ls := make([]core.Launch, len(ps))
+		for j, p := range ps {
+			ids, err := e.Host.PathEdgeIDs(p)
+			if err != nil {
+				return nil, err
+			}
+			for t, id := range ids {
+				used[slot{id, t}] = true
+			}
+			ls[j] = core.Launch{Path: j}
+		}
+		launches[i] = ls
+	}
+
+	cost := 3
+	for i, u := range e.VertexMap {
+		v := e.VertexMap[(i+1)%len(e.VertexMap)]
+		d, err := ly.q.Dim(u, v)
+		if err != nil {
+			return nil, err
+		}
+		// Candidate spare dimensions: block dims for column edges (their
+		// position dims are all taken); any other column dim for row
+		// edges (their row dims are all taken).
+		var candidates []int
+		if d >= ly.b {
+			for k := 0; k < ly.r; k++ {
+				candidates = append(candidates, k)
+			}
+		} else {
+			for k := 0; k < ly.b; k++ {
+				if k != d {
+					candidates = append(candidates, k)
+				}
+			}
+		}
+		placed := false
+		for off := 0; off <= 4 && !placed; off++ {
+			for _, k := range candidates {
+				p := core.RouteDims(u, k, d, k)
+				ids, err := e.Host.PathEdgeIDs(p)
+				if err != nil {
+					return nil, err
+				}
+				ok := true
+				for t, id := range ids {
+					if used[slot{id, off + t}] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				for t, id := range ids {
+					used[slot{id, off + t}] = true
+				}
+				e.Paths[i] = append(e.Paths[i], p)
+				launches[i] = append(launches[i], core.Launch{Path: len(e.Paths[i]) - 1, Start: off})
+				if off+3 > cost {
+					cost = off + 3
+				}
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("cycles: no spare slot for guest edge %d", i)
+		}
+	}
+	return &WideEmbedding{Embedding: e, Launches: launches, Cost: cost}, nil
+}

@@ -1,0 +1,48 @@
+package cycles
+
+import "testing"
+
+// Theorem 2's second option (n ≡ 2, 3 mod 4): width ⌊n/2⌋ at extra
+// cost. Our greedy realization reaches the paper's width exactly; the
+// verified schedule costs 6-7 steps instead of the paper's 4 (their
+// construction re-partitions with an odd row subcube, which the
+// power-of-two moment labeling cannot express — see DESIGN.md).
+func TestTheorem2WideWidth(t *testing.T) {
+	for _, n := range []int{10, 11} {
+		we, err := Theorem2Wide(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		w, err := we.Width()
+		if err != nil {
+			t.Fatalf("n=%d: width: %v", n, err)
+		}
+		if w != n/2 {
+			t.Errorf("n=%d: width %d, want ⌊n/2⌋ = %d", n, w, n/2)
+		}
+		if err := we.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// The greedy launch plan is collision-free and bounded.
+		c, err := we.ScheduleCost(we.Launches)
+		if err != nil {
+			t.Fatalf("n=%d: schedule collides: %v", n, err)
+		}
+		if c != we.Cost {
+			t.Errorf("n=%d: reported cost %d, verified %d", n, we.Cost, c)
+		}
+		if c > 7 {
+			t.Errorf("n=%d: cost %d too high", n, c)
+		}
+		if we.Load() != 2 {
+			t.Errorf("n=%d: load %d", n, we.Load())
+		}
+	}
+}
+
+func TestTheorem2WideRejectsSmallBlocks(t *testing.T) {
+	// n = 8: a = 4, r = 0 — no spare block dimensions.
+	if _, err := Theorem2Wide(8); err == nil {
+		t.Error("n=8 accepted")
+	}
+}

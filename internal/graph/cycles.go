@@ -1,0 +1,152 @@
+package graph
+
+import "fmt"
+
+// This file provides cycle and tour machinery: verification that node
+// sequences are (Hamiltonian) cycles, Eulerian tours of edge-disjoint
+// cycle unions (used by Theorem 2's load-2 embedding), and connectivity.
+
+// IsCycleIn reports whether seq is a simple directed cycle in g: all
+// nodes distinct and each consecutive pair (cyclically) an edge of g.
+func IsCycleIn(g *Graph, seq []int32) error {
+	if len(seq) < 2 {
+		return fmt.Errorf("cycle too short: %d nodes", len(seq))
+	}
+	seen := make(map[int32]bool, len(seq))
+	for i, u := range seq {
+		if seen[u] {
+			return fmt.Errorf("node %d repeated at position %d", u, i)
+		}
+		seen[u] = true
+		v := seq[(i+1)%len(seq)]
+		if !g.HasEdge(u, v) {
+			return fmt.Errorf("missing edge (%d,%d) at position %d", u, v, i)
+		}
+	}
+	return nil
+}
+
+// IsHamiltonianCycleIn reports whether seq is a Hamiltonian cycle of g.
+func IsHamiltonianCycleIn(g *Graph, seq []int32) error {
+	if len(seq) != g.N() {
+		return fmt.Errorf("sequence has %d nodes, graph has %d", len(seq), g.N())
+	}
+	return IsCycleIn(g, seq)
+}
+
+// FromCycle builds the directed graph whose edges are exactly the
+// consecutive pairs of seq (cyclically), on n vertices.
+func FromCycle(n int, seq []int32) *Graph {
+	g := New(n)
+	for i, u := range seq {
+		g.AddEdge(u, seq[(i+1)%len(seq)])
+	}
+	return g
+}
+
+// EdgeDisjoint reports whether the given cycles (node sequences) use
+// pairwise disjoint directed edges.
+func EdgeDisjoint(cycles [][]int32) error {
+	type de struct{ u, v int32 }
+	seen := make(map[de]int)
+	for ci, c := range cycles {
+		for i, u := range c {
+			v := c[(i+1)%len(c)]
+			e := de{u, v}
+			if prev, ok := seen[e]; ok {
+				return fmt.Errorf("edge (%d,%d) used by cycles %d and %d", u, v, prev, ci)
+			}
+			seen[e] = ci
+		}
+	}
+	return nil
+}
+
+// EulerTour returns an Eulerian circuit of g starting at start, as a
+// node sequence of length M (the tour is closed: an edge connects the
+// last node back to the first). It requires in-degree = out-degree at
+// every vertex and all edges reachable from start; otherwise it returns
+// an error. Hierholzer's algorithm, O(M).
+func EulerTour(g *Graph, start int32) ([]int32, error) {
+	in := g.InDegrees()
+	for u := int32(0); int(u) < g.N(); u++ {
+		if g.OutDegree(u) != in[u] {
+			return nil, fmt.Errorf("vertex %d: out-degree %d != in-degree %d", u, g.OutDegree(u), in[u])
+		}
+	}
+	if g.M() == 0 {
+		return nil, fmt.Errorf("empty graph")
+	}
+	if g.OutDegree(start) == 0 {
+		return nil, fmt.Errorf("start vertex %d has no outgoing edges", start)
+	}
+	// next[u] = index into Out(u) of the first unused edge.
+	next := make([]int, g.N())
+	// Iterative Hierholzer using an explicit vertex stack.
+	stack := make([]int32, 0, g.M()+1)
+	tour := make([]int32, 0, g.M())
+	stack = append(stack, start)
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		out := g.Out(u)
+		if next[u] < len(out) {
+			v := out[next[u]]
+			next[u]++
+			stack = append(stack, v)
+		} else {
+			tour = append(tour, u)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(tour) != g.M()+1 {
+		return nil, fmt.Errorf("graph not connected: tour covers %d of %d edges", len(tour)-1, g.M())
+	}
+	// tour is in reverse order and repeats the start; normalize.
+	for i, j := 0, len(tour)-1; i < j; i, j = i+1, j-1 {
+		tour[i], tour[j] = tour[j], tour[i]
+	}
+	return tour[:len(tour)-1], nil
+}
+
+// IsEulerTour verifies that seq traverses every edge of g exactly once
+// and returns to its start.
+func IsEulerTour(g *Graph, seq []int32) error {
+	if len(seq) != g.M() {
+		return fmt.Errorf("tour length %d != edge count %d", len(seq), g.M())
+	}
+	type de struct{ u, v int32 }
+	remaining := make(map[de]int, g.M())
+	for _, e := range g.Edges() {
+		remaining[de{e.U, e.V}]++
+	}
+	for i, u := range seq {
+		v := seq[(i+1)%len(seq)]
+		e := de{u, v}
+		if remaining[e] == 0 {
+			return fmt.Errorf("step %d: edge (%d,%d) not available", i, u, v)
+		}
+		remaining[e]--
+	}
+	return nil
+}
+
+// ConnectedFrom reports how many vertices are reachable from start
+// following directed edges.
+func ConnectedFrom(g *Graph, start int32) int {
+	seen := make([]bool, g.N())
+	stack := []int32{start}
+	seen[start] = true
+	count := 0
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for _, v := range g.Out(u) {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count
+}

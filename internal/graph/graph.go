@@ -1,0 +1,197 @@
+// Package graph provides the directed-graph substrate for the embedding
+// constructions: a compact directed multigraph, Hamiltonicity and
+// Eulerian-tour machinery, and the (generalized) cross products of §3
+// and §6 of Greenberg & Bhatt.
+//
+// Vertices are integers 0..N-1. Guest graphs in the paper always have
+// vertex set Z_N, so the identity of a vertex matters: two graphs are
+// Equal only if they are isomorphic under the identity map (§6).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a directed edge from U to V.
+type Edge struct {
+	U, V int32
+}
+
+// Graph is a directed multigraph on vertices 0..N-1. The zero value is
+// an empty graph on zero vertices; use New to create one with a fixed
+// vertex count.
+type Graph struct {
+	n     int
+	edges []Edge
+	adj   [][]int32 // adjacency lists, built lazily
+	dirty bool      // adj out of date
+}
+
+// New returns an empty directed graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{n: n}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of directed edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// AddEdge appends the directed edge (u, v). Parallel edges are allowed;
+// self-loops are rejected.
+func (g *Graph) AddEdge(u, v int32) {
+	if u < 0 || int(u) >= g.n || v < 0 || int(v) >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	g.edges = append(g.edges, Edge{u, v})
+	g.dirty = true
+}
+
+// AddUndirected appends both orientations of {u, v}.
+func (g *Graph) AddUndirected(u, v int32) {
+	g.AddEdge(u, v)
+	g.AddEdge(v, u)
+}
+
+// Edges returns the edge list. The caller must not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Edge returns the i-th edge.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+func (g *Graph) buildAdj() {
+	g.adj = make([][]int32, g.n)
+	deg := make([]int, g.n)
+	for _, e := range g.edges {
+		deg[e.U]++
+	}
+	for u := range g.adj {
+		g.adj[u] = make([]int32, 0, deg[u])
+	}
+	for _, e := range g.edges {
+		g.adj[e.U] = append(g.adj[e.U], e.V)
+	}
+	g.dirty = false
+}
+
+// Out returns the out-neighbors of u (with multiplicity). The caller
+// must not modify the returned slice.
+func (g *Graph) Out(u int32) []int32 {
+	if g.adj == nil || g.dirty {
+		g.buildAdj()
+	}
+	return g.adj[u]
+}
+
+// OutDegree returns the out-degree of u.
+func (g *Graph) OutDegree(u int32) int { return len(g.Out(u)) }
+
+// MaxOutDegree returns δ, the maximum out-degree over all vertices.
+func (g *Graph) MaxOutDegree() int {
+	max := 0
+	for u := int32(0); int(u) < g.n; u++ {
+		if d := g.OutDegree(u); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// InDegrees returns the in-degree of every vertex.
+func (g *Graph) InDegrees() []int {
+	in := make([]int, g.n)
+	for _, e := range g.edges {
+		in[e.V]++
+	}
+	return in
+}
+
+// HasEdge reports whether at least one copy of (u, v) is present.
+func (g *Graph) HasEdge(u, v int32) bool {
+	for _, w := range g.Out(u) {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	h := New(g.n)
+	h.edges = append([]Edge(nil), g.edges...)
+	return h
+}
+
+// Equal reports whether g and h have the same vertex count and the same
+// edge multiset. This is the paper's §6 notion of graph equality
+// (isomorphic under the identity map), not graph isomorphism.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.n != h.n || len(g.edges) != len(h.edges) {
+		return false
+	}
+	a := append([]Edge(nil), g.edges...)
+	b := append([]Edge(nil), h.edges...)
+	less := func(s []Edge) func(i, j int) bool {
+		return func(i, j int) bool {
+			if s[i].U != s[j].U {
+				return s[i].U < s[j].U
+			}
+			return s[i].V < s[j].V
+		}
+	}
+	sort.Slice(a, less(a))
+	sort.Slice(b, less(b))
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply returns G_φ: the graph with edge set {(φ(u), φ(v))}. phi must
+// be a permutation of 0..N-1; this is checked.
+func (g *Graph) Apply(phi []int32) *Graph {
+	if len(phi) != g.n {
+		panic("graph: automorphism length mismatch")
+	}
+	seen := make([]bool, g.n)
+	for _, p := range phi {
+		if p < 0 || int(p) >= g.n || seen[p] {
+			panic("graph: not a permutation")
+		}
+		seen[p] = true
+	}
+	h := New(g.n)
+	for _, e := range g.edges {
+		h.AddEdge(phi[e.U], phi[e.V])
+	}
+	return h
+}
+
+// Union returns the graph containing all edges of g and h (same vertex
+// count required). Edge multiplicities add.
+func (g *Graph) Union(h *Graph) *Graph {
+	if g.n != h.n {
+		panic("graph: union of graphs with different vertex counts")
+	}
+	u := New(g.n)
+	u.edges = make([]Edge, 0, len(g.edges)+len(h.edges))
+	u.edges = append(u.edges, g.edges...)
+	u.edges = append(u.edges, h.edges...)
+	return u
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{N=%d M=%d}", g.n, g.M())
+}

@@ -1,0 +1,441 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ring(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(int32(i), int32((i+1)%n))
+	}
+	return g
+}
+
+func TestNewAndDegrees(t *testing.T) {
+	g := ring(5)
+	if g.N() != 5 || g.M() != 5 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	for u := int32(0); u < 5; u++ {
+		if g.OutDegree(u) != 1 {
+			t.Errorf("out-degree of %d = %d", u, g.OutDegree(u))
+		}
+	}
+	in := g.InDegrees()
+	for u, d := range in {
+		if d != 1 {
+			t.Errorf("in-degree of %d = %d", u, d)
+		}
+	}
+	if g.MaxOutDegree() != 1 {
+		t.Errorf("MaxOutDegree = %d", g.MaxOutDegree())
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	g := New(3)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("out of range", func() { g.AddEdge(0, 3) })
+	mustPanic("negative", func() { g.AddEdge(-1, 0) })
+	mustPanic("self-loop", func() { g.AddEdge(1, 1) })
+}
+
+func TestHasEdgeAndAdjRebuild(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Fatal("HasEdge wrong")
+	}
+	// Adding after adjacency was built must invalidate the cache.
+	g.AddEdge(1, 0)
+	if !g.HasEdge(1, 0) {
+		t.Fatal("adjacency not rebuilt after AddEdge")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := ring(4)
+	b := ring(4)
+	if !a.Equal(b) {
+		t.Fatal("identical rings not Equal")
+	}
+	c := New(4)
+	// Same cycle structure, different identity: rotated ring.
+	for i := 0; i < 4; i++ {
+		c.AddEdge(int32((i+1)%4), int32((i+2)%4))
+	}
+	if !a.Equal(c) {
+		// a rotated ring has the same edge set, so must be equal
+		t.Fatal("rotated ring should have identical edge set")
+	}
+	d := New(4)
+	d.AddEdge(0, 2)
+	d.AddEdge(2, 0)
+	d.AddEdge(1, 3)
+	d.AddEdge(3, 1)
+	if a.Equal(d) {
+		t.Fatal("different edge sets reported Equal")
+	}
+	if a.Equal(ring(5)) {
+		t.Fatal("different sizes reported Equal")
+	}
+}
+
+func TestApplyAutomorphism(t *testing.T) {
+	g := ring(6)
+	phi := []int32{1, 2, 3, 4, 5, 0} // rotation
+	h := g.Apply(phi)
+	if !g.Equal(h) {
+		t.Fatal("ring must be invariant under rotation")
+	}
+	rev := []int32{0, 5, 4, 3, 2, 1} // reflection reverses orientation
+	r := g.Apply(rev)
+	if g.Equal(r) {
+		t.Fatal("directed ring must not be invariant under reflection")
+	}
+	if !r.HasEdge(5, 4) {
+		t.Fatal("reflected ring missing expected edge")
+	}
+}
+
+func TestApplyRejectsNonPermutation(t *testing.T) {
+	g := ring(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Apply accepted a non-permutation")
+		}
+	}()
+	g.Apply([]int32{0, 0, 1})
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := ring(3)
+	h := g.Clone()
+	h.AddEdge(0, 2)
+	if g.M() != 3 || h.M() != 4 {
+		t.Fatalf("clone not independent: g.M=%d h.M=%d", g.M(), h.M())
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := ring(4)
+	b := New(4)
+	b.AddEdge(0, 2)
+	u := a.Union(b)
+	if u.M() != 5 {
+		t.Fatalf("union M=%d", u.M())
+	}
+}
+
+func TestIsCycleIn(t *testing.T) {
+	g := ring(5)
+	if err := IsCycleIn(g, []int32{0, 1, 2, 3, 4}); err != nil {
+		t.Errorf("valid cycle rejected: %v", err)
+	}
+	if err := IsCycleIn(g, []int32{0, 2, 3}); err == nil {
+		t.Error("cycle with missing edge accepted")
+	}
+	if err := IsCycleIn(g, []int32{0, 1, 0, 1, 2}); err == nil {
+		t.Error("cycle with repeated node accepted")
+	}
+	if err := IsHamiltonianCycleIn(g, []int32{0, 1, 2, 3, 4}); err != nil {
+		t.Errorf("Hamiltonian cycle rejected: %v", err)
+	}
+	if err := IsHamiltonianCycleIn(g, []int32{0, 1, 2}); err == nil {
+		t.Error("short cycle accepted as Hamiltonian")
+	}
+}
+
+func TestFromCycle(t *testing.T) {
+	seq := []int32{0, 2, 4, 1, 3}
+	g := FromCycle(5, seq)
+	if g.M() != 5 {
+		t.Fatalf("M=%d", g.M())
+	}
+	if err := IsHamiltonianCycleIn(g, seq); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeDisjoint(t *testing.T) {
+	a := []int32{0, 1, 2, 3}
+	b := []int32{3, 2, 1, 0} // reverse orientation: edge-disjoint from a
+	if err := EdgeDisjoint([][]int32{a, b}); err != nil {
+		t.Errorf("disjoint cycles rejected: %v", err)
+	}
+	if err := EdgeDisjoint([][]int32{a, a}); err == nil {
+		t.Error("identical cycles accepted as disjoint")
+	}
+}
+
+func TestEulerTourOnTwoCycles(t *testing.T) {
+	// Union of two edge-disjoint cycles sharing all vertices has an
+	// Euler tour.
+	g := New(4)
+	for i := int32(0); i < 4; i++ {
+		g.AddEdge(i, (i+1)%4)
+	}
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(1, 3)
+	g.AddEdge(3, 1)
+	tour, err := EulerTour(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := IsEulerTour(g, tour); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEulerTourErrors(t *testing.T) {
+	// Unbalanced degrees.
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if _, err := EulerTour(g, 0); err == nil {
+		t.Error("unbalanced graph accepted")
+	}
+	// Disconnected: two separate 2-cycles.
+	h := New(4)
+	h.AddUndirected(0, 1)
+	h.AddUndirected(2, 3)
+	if _, err := EulerTour(h, 0); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+	if _, err := EulerTour(New(2), 0); err == nil {
+		t.Error("empty graph accepted")
+	}
+	k := New(3)
+	k.AddUndirected(1, 2)
+	if _, err := EulerTour(k, 0); err == nil {
+		t.Error("isolated start vertex accepted")
+	}
+}
+
+// Property: Euler tour of a random balanced connected multigraph is
+// always verified by IsEulerTour.
+func TestEulerTourRandomBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(20)
+		g := New(n)
+		// Overlay several random Hamiltonian cycles (random vertex
+		// permutations) so the graph is balanced and connected.
+		k := 1 + rng.Intn(4)
+		for c := 0; c < k; c++ {
+			perm := rng.Perm(n)
+			for i := 0; i < n; i++ {
+				g.AddEdge(int32(perm[i]), int32(perm[(i+1)%n]))
+			}
+		}
+		tour, err := EulerTour(g, int32(rng.Intn(n)))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := IsEulerTour(g, tour); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestConnectedFrom(t *testing.T) {
+	g := ring(6)
+	if c := ConnectedFrom(g, 0); c != 6 {
+		t.Errorf("ring connectivity = %d", c)
+	}
+	h := New(4)
+	h.AddEdge(0, 1)
+	if c := ConnectedFrom(h, 0); c != 2 {
+		t.Errorf("partial connectivity = %d", c)
+	}
+}
+
+func TestProductTorus(t *testing.T) {
+	// C3 × C4 is the 3×4 torus: 12 vertices, 24 directed edges,
+	// every vertex out-degree 2.
+	p := Product(ring(3), ring(4))
+	if p.N() != 12 || p.M() != 24 {
+		t.Fatalf("N=%d M=%d", p.N(), p.M())
+	}
+	for u := int32(0); u < 12; u++ {
+		if p.OutDegree(u) != 2 {
+			t.Errorf("vertex %d out-degree %d", u, p.OutDegree(u))
+		}
+	}
+	// ⟨v,w⟩ = v*4+w: edge from ⟨0,0⟩ to ⟨1,0⟩ and ⟨0,1⟩.
+	if !p.HasEdge(0, 4) || !p.HasEdge(0, 1) {
+		t.Error("expected product edges missing")
+	}
+}
+
+func TestProductOfHypercubes(t *testing.T) {
+	// Q1 × Q1 = Q2 under address concatenation.
+	q1 := New(2)
+	q1.AddUndirected(0, 1)
+	q2 := Product(q1, q1)
+	want := New(4)
+	// Q2 on 2-bit addresses v = v1 v0 where vertex id = v1*2 + v0.
+	want.AddUndirected(0, 1)
+	want.AddUndirected(2, 3)
+	want.AddUndirected(0, 2)
+	want.AddUndirected(1, 3)
+	if !q2.Equal(want) {
+		t.Fatal("Q1 × Q1 != Q2")
+	}
+}
+
+func TestGeneralizedProductMatchesStandard(t *testing.T) {
+	// With all rows = G and all cols = H, the generalized product has
+	// row subgraphs G and column subgraphs H. Per the ⟨i,j⟩ = i*N+j
+	// numbering this equals Product(H', G) where H' supplies the
+	// first coordinate.
+	n := 4
+	G := ring(n)
+	H := New(n)
+	H.AddUndirected(0, 1)
+	H.AddUndirected(2, 3)
+	rows := make([]*Graph, n)
+	cols := make([]*Graph, n)
+	for i := range rows {
+		rows[i] = G
+		cols[i] = H
+	}
+	gp := GeneralizedProduct(rows, cols)
+	std := Product(H, G)
+	if !gp.Equal(std) {
+		t.Fatal("generalized product with constant families != standard product")
+	}
+}
+
+func TestGeneralizedProductRowColumnInduced(t *testing.T) {
+	n := 4
+	rows := make([]*Graph, n)
+	cols := make([]*Graph, n)
+	for i := 0; i < n; i++ {
+		r := ring(n)
+		// Rotate each row differently so families are non-constant.
+		phi := make([]int32, n)
+		for j := range phi {
+			phi[j] = int32((j + i) % n)
+		}
+		rows[i] = r.Apply(phi)
+		cols[i] = ring(n)
+	}
+	gp := GeneralizedProduct(rows, cols)
+	if gp.N() != n*n || gp.M() != 2*n*n {
+		t.Fatalf("N=%d M=%d", gp.N(), gp.M())
+	}
+	// Row i induced subgraph must equal rows[i].
+	for i := 0; i < n; i++ {
+		induced := New(n)
+		for _, e := range gp.Edges() {
+			if int(e.U)/n == i && int(e.V)/n == i {
+				induced.AddEdge(e.U%int32(n), e.V%int32(n))
+			}
+		}
+		if !induced.Equal(rows[i]) {
+			t.Fatalf("row %d induced subgraph mismatch", i)
+		}
+	}
+}
+
+func TestGeneralizedProductValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("size mismatch", func() {
+		GeneralizedProduct([]*Graph{ring(2), ring(2)}, []*Graph{ring(2)})
+	})
+	mustPanic("wrong vertex set", func() {
+		GeneralizedProduct([]*Graph{ring(3), ring(3), ring(3)}, []*Graph{ring(3), ring(3), ring(2)})
+	})
+}
+
+// Property: Product vertex/edge counts multiply/compose correctly.
+func TestProductCountsProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		na := int(a%6) + 3
+		nb := int(b%6) + 3
+		p := Product(ring(na), ring(nb))
+		return p.N() == na*nb && p.M() == na*nb*2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Apply by a random permutation preserves vertex and edge
+// counts and composes like function application.
+func TestApplyCompositionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(12)
+		g := ring(n)
+		p1 := permOf(rng, n)
+		p2 := permOf(rng, n)
+		// (G_p1)_p2 == G_{p2∘p1}
+		comp := make([]int32, n)
+		for i := range comp {
+			comp[i] = p2[p1[i]]
+		}
+		a := g.Apply(p1).Apply(p2)
+		b := g.Apply(comp)
+		if !a.Equal(b) {
+			t.Fatalf("trial %d: composition law broken", trial)
+		}
+	}
+}
+
+func permOf(rng *rand.Rand, n int) []int32 {
+	p := rng.Perm(n)
+	out := make([]int32, n)
+	for i, v := range p {
+		out[i] = int32(v)
+	}
+	return out
+}
+
+// Property: the Euler tour length always equals the edge count, and
+// reversing all edges of a balanced graph preserves tourability.
+func TestEulerTourReversalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(10)
+		g := New(n)
+		for c := 0; c < 2; c++ {
+			perm := rng.Perm(n)
+			for i := 0; i < n; i++ {
+				g.AddEdge(int32(perm[i]), int32(perm[(i+1)%n]))
+			}
+		}
+		rev := New(n)
+		for _, e := range g.Edges() {
+			rev.AddEdge(e.V, e.U)
+		}
+		for _, h := range []*Graph{g, rev} {
+			tour, err := EulerTour(h, 0)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if len(tour) != h.M() {
+				t.Fatalf("trial %d: tour %d edges %d", trial, len(tour), h.M())
+			}
+		}
+	}
+}

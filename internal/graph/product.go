@@ -1,0 +1,63 @@
+package graph
+
+// Cross products (§3) and the generalized cross product of graph
+// families (§6).
+
+// Product returns the cross product G × H of §3: vertex set V(G)×V(H)
+// with ⟨v, w⟩ numbered v·|W| + w; edges connect vertices that agree on
+// one coordinate and are adjacent in the other factor. The cross
+// product of two cycles is a torus; Q_a × Q_b = Q_{a+b}.
+func Product(g, h *Graph) *Graph {
+	nw := int32(h.N())
+	p := New(g.N() * h.N())
+	for _, e := range g.Edges() {
+		for w := int32(0); w < nw; w++ {
+			p.AddEdge(e.U*nw+w, e.V*nw+w)
+		}
+	}
+	for v := int32(0); int(v) < g.N(); v++ {
+		for _, e := range h.Edges() {
+			p.AddEdge(v*nw+e.U, v*nw+e.V)
+		}
+	}
+	return p
+}
+
+// GeneralizedProduct returns the §6 cross product of two families of
+// graphs R = {R_0..R_{N-1}} and C = {C_0..C_{N-1}}, each on vertex set
+// Z_N. The result has vertex set Z_N × Z_N with ⟨i, j⟩ numbered i·N+j;
+// the subgraph induced by row i equals R_i and the subgraph induced by
+// column j equals C_j.
+//
+// When every R_i equals G and every C_j equals H, the result equals the
+// standard Product(H, G) up to the paper's row/column convention: row
+// edges vary the column coordinate.
+func GeneralizedProduct(rows, cols []*Graph) *Graph {
+	n := len(rows)
+	if len(cols) != n {
+		panic("graph: row and column families must have equal size")
+	}
+	for _, r := range rows {
+		if r.N() != n {
+			panic("graph: every row graph must have vertex set Z_N")
+		}
+	}
+	for _, c := range cols {
+		if c.N() != n {
+			panic("graph: every column graph must have vertex set Z_N")
+		}
+	}
+	nn := int32(n)
+	p := New(n * n)
+	for i := int32(0); i < nn; i++ {
+		for _, e := range rows[i].Edges() {
+			p.AddEdge(i*nn+e.U, i*nn+e.V)
+		}
+	}
+	for j := int32(0); j < nn; j++ {
+		for _, e := range cols[j].Edges() {
+			p.AddEdge(e.U*nn+j, e.V*nn+j)
+		}
+	}
+	return p
+}

@@ -1,0 +1,224 @@
+// Package grid implements the multi-dimensional grid embeddings of
+// Greenberg & Bhatt §4.5 — cross products of the Theorem 1 cycle
+// embedding (Corollary 1), grid squaring (Corollary 2) — and the §8.3
+// comparison of mappings for large grid relaxations.
+package grid
+
+import (
+	"fmt"
+
+	"multipath/internal/bitutil"
+	"multipath/internal/core"
+	"multipath/internal/cycles"
+	"multipath/internal/guests"
+	"multipath/internal/hypercube"
+)
+
+// AxisEmbedding is the multiple-path embedding of one grid axis: the
+// length-2^a cycle of Theorem 1 restricted to a path of L nodes.
+type AxisEmbedding struct {
+	A     int              // subcube dimensions for this axis
+	L     int              // axis length
+	Nodes []hypercube.Node // image of axis position i
+	Fwd   [][]core.Path    // paths for edge i → i+1
+	Bwd   [][]core.Path    // paths for edge i+1 → i
+	Width int              // common width of all path sets
+	host  *hypercube.Q
+}
+
+// EmbedAxis builds the axis embedding for a side of length L (2 ≤ L):
+// Theorem 1 on Q_⌈log L⌉ (or Q_2 minimum), truncated to the first L
+// cycle vertices. Reverse edges reuse the forward paths reversed;
+// forward and reverse use opposite directed links, so they remain
+// edge-disjoint.
+func EmbedAxis(L int) (*AxisEmbedding, error) {
+	if L < 2 {
+		return nil, fmt.Errorf("grid: axis length %d too small", L)
+	}
+	a := bitutil.CeilLog2(L)
+	if a < 4 {
+		a = 4 // Theorem 1 needs n ≥ 4; small axes use a Q_4 per axis
+	}
+	e, err := cycles.Theorem1(a)
+	if err != nil {
+		return nil, err
+	}
+	w, err := e.Width()
+	if err != nil {
+		return nil, err
+	}
+	ax := &AxisEmbedding{
+		A:     a,
+		L:     L,
+		Nodes: e.VertexMap[:L],
+		Fwd:   make([][]core.Path, L-1),
+		Bwd:   make([][]core.Path, L-1),
+		Width: w,
+		host:  e.Host,
+	}
+	for i := 0; i < L-1; i++ {
+		ax.Fwd[i] = e.Paths[i]
+		rev := make([]core.Path, len(e.Paths[i]))
+		for j, p := range e.Paths[i] {
+			r := make(core.Path, len(p))
+			for t, v := range p {
+				r[len(p)-1-t] = v
+			}
+			rev[j] = r
+		}
+		ax.Bwd[i] = rev
+	}
+	return ax, nil
+}
+
+// GridEmbedding is a multiple-path grid embedding with per-edge phase
+// labels. Relaxation communication proceeds in directed phases — one
+// axis and one direction at a time — and each phase has synchronized
+// cost 3; opposite directions on the same axis share first-hop detour
+// links, so they cannot be launched in the same step (the paper's §9
+// notes that all-links-all-axes scheduling is open).
+type GridEmbedding struct {
+	*core.Embedding
+	Sides       []int
+	EdgeAxis    []int  // axis of each guest edge
+	EdgeForward []bool // direction of each guest edge along its axis
+}
+
+// PhaseCost returns the synchronized cost of launching only the edges
+// of one directed phase (axis, direction).
+func (ge *GridEmbedding) PhaseCost(axis int, forward bool) (int, error) {
+	launches := make([][]core.Launch, len(ge.Paths))
+	for i := range ge.Paths {
+		if ge.EdgeAxis[i] != axis || ge.EdgeForward[i] != forward {
+			continue
+		}
+		ls := make([]core.Launch, len(ge.Paths[i]))
+		for j := range ge.Paths[i] {
+			ls[j] = core.Launch{Path: j}
+		}
+		launches[i] = ls
+	}
+	return ge.ScheduleCost(launches)
+}
+
+// CrossProduct builds Corollary 1's multiple-path embedding of the
+// k-axis grid with the given side lengths into Q_{Σ aᵢ}: each axis is
+// embedded in its own factor subcube and edges inherit the axis paths
+// with all other coordinates fixed. The width is the minimum axis
+// width; each directed phase costs 3 steps.
+func CrossProduct(sides []int) (*GridEmbedding, error) {
+	if len(sides) == 0 {
+		return nil, fmt.Errorf("grid: no axes")
+	}
+	total := 0
+	for _, L := range sides {
+		a := bitutil.CeilLog2(L)
+		if a < 4 {
+			a = 4
+		}
+		total += a
+	}
+	if total > 26 {
+		return nil, fmt.Errorf("grid: host dimension %d too large", total)
+	}
+	axes := make([]*AxisEmbedding, len(sides))
+	for i, L := range sides {
+		ax, err := EmbedAxis(L)
+		if err != nil {
+			return nil, err
+		}
+		axes[i] = ax
+	}
+	q := hypercube.New(total)
+	// Bit offset of each axis subcube: axis k occupies the lowest bits,
+	// axis 0 the highest (matching row-major vertex numbering).
+	offsets := make([]int, len(axes))
+	off := 0
+	for i := len(axes) - 1; i >= 0; i-- {
+		offsets[i] = off
+		off += axes[i].A
+	}
+	g := guests.Grid(sides, false)
+	strides := make([]int, len(sides))
+	strides[len(sides)-1] = 1
+	for a := len(sides) - 2; a >= 0; a-- {
+		strides[a] = strides[a+1] * sides[a+1]
+	}
+	coordsOf := func(v int32) []int {
+		out := make([]int, len(sides))
+		rem := int(v)
+		for a := range sides {
+			out[a] = rem / strides[a]
+			rem %= strides[a]
+		}
+		return out
+	}
+	place := func(coords []int) hypercube.Node {
+		var h hypercube.Node
+		for a, x := range coords {
+			h |= axes[a].Nodes[x] << uint(offsets[a])
+		}
+		return h
+	}
+	e := &core.Embedding{
+		Host:      q,
+		Guest:     g,
+		VertexMap: make([]hypercube.Node, g.N()),
+		Paths:     make([][]core.Path, g.M()),
+	}
+	out := &GridEmbedding{
+		Embedding:   e,
+		Sides:       append([]int(nil), sides...),
+		EdgeAxis:    make([]int, g.M()),
+		EdgeForward: make([]bool, g.M()),
+	}
+	for v := int32(0); int(v) < g.N(); v++ {
+		e.VertexMap[v] = place(coordsOf(v))
+	}
+	for i, ge := range g.Edges() {
+		cu := coordsOf(ge.U)
+		cv := coordsOf(ge.V)
+		axis := -1
+		for a := range cu {
+			if cu[a] != cv[a] {
+				if axis >= 0 {
+					return nil, fmt.Errorf("grid: edge %d differs on two axes", i)
+				}
+				axis = a
+			}
+		}
+		var axPaths []core.Path
+		switch {
+		case cv[axis] == cu[axis]+1:
+			axPaths = axes[axis].Fwd[cu[axis]]
+			out.EdgeForward[i] = true
+		case cv[axis] == cu[axis]-1:
+			axPaths = axes[axis].Bwd[cv[axis]]
+		default:
+			return nil, fmt.Errorf("grid: edge %d is not a unit step", i)
+		}
+		out.EdgeAxis[i] = axis
+		axisMask := (hypercube.Node(1)<<uint(axes[axis].A) - 1) << uint(offsets[axis])
+		base := e.VertexMap[ge.U] &^ axisMask
+		paths := make([]core.Path, len(axPaths))
+		for j, p := range axPaths {
+			lifted := make(core.Path, len(p))
+			for t, node := range p {
+				lifted[t] = base | node<<uint(offsets[axis])
+			}
+			paths[j] = lifted
+		}
+		e.Paths[i] = paths
+	}
+	return out, nil
+}
+
+// Expansion returns the ratio of host size to the smallest hypercube
+// that could hold the guest.
+func Expansion(e *core.Embedding) float64 {
+	need := 1
+	for need < e.Guest.N() {
+		need <<= 1
+	}
+	return float64(e.Host.Nodes()) / float64(need)
+}

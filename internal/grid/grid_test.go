@@ -1,0 +1,356 @@
+package grid
+
+import (
+	"testing"
+
+	"multipath/internal/cycles"
+)
+
+func TestEmbedAxis(t *testing.T) {
+	ax, err := EmbedAxis(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ax.A != 4 || ax.L != 10 || len(ax.Nodes) != 10 {
+		t.Fatalf("axis: A=%d L=%d", ax.A, ax.L)
+	}
+	if len(ax.Fwd) != 9 || len(ax.Bwd) != 9 {
+		t.Fatalf("edges: %d fwd %d bwd", len(ax.Fwd), len(ax.Bwd))
+	}
+	// Reverse paths are reversals of forward paths.
+	for i := range ax.Fwd {
+		for j := range ax.Fwd[i] {
+			f, b := ax.Fwd[i][j], ax.Bwd[i][j]
+			if len(f) != len(b) {
+				t.Fatal("length mismatch")
+			}
+			for t2 := range f {
+				if f[t2] != b[len(b)-1-t2] {
+					t.Fatal("reverse path wrong")
+				}
+			}
+		}
+	}
+	if _, err := EmbedAxis(1); err == nil {
+		t.Error("length-1 axis accepted")
+	}
+}
+
+func TestCrossProduct2D(t *testing.T) {
+	e, err := CrossProduct([]int{10, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Host.Dims() != 8 {
+		t.Fatalf("host Q_%d, want Q_8", e.Host.Dims())
+	}
+	if e.Guest.N() != 120 {
+		t.Fatalf("guest %d nodes", e.Guest.N())
+	}
+	if e.Load() != 1 || !e.OneToOne() {
+		t.Error("not load 1")
+	}
+	w, err := e.Width()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cycles.RowSubcubeDim(4) + 1; w != want {
+		t.Errorf("width %d, want %d", w, want)
+	}
+	// Corollary 1: each directed phase (axis, direction) costs 3 —
+	// all its paths at once, no collisions. Opposite directions share
+	// first-hop links, so phases are scheduled one at a time.
+	for axis := 0; axis < 2; axis++ {
+		for _, fwd := range []bool{true, false} {
+			c, err := e.PhaseCost(axis, fwd)
+			if err != nil {
+				t.Fatalf("axis %d fwd %v: schedule collides: %v", axis, fwd, err)
+			}
+			if c != 3 {
+				t.Errorf("axis %d fwd %v: cost %d, want 3", axis, fwd, c)
+			}
+		}
+	}
+}
+
+func TestCrossProduct3D(t *testing.T) {
+	e, err := CrossProduct([]int{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Host.Dims() != 12 {
+		t.Fatalf("host Q_%d", e.Host.Dims())
+	}
+	for axis := 0; axis < 3; axis++ {
+		if c, err := e.PhaseCost(axis, true); err != nil || c != 3 {
+			t.Fatalf("axis %d: cost %d err %v", axis, c, err)
+		}
+	}
+	if e.Load() != 1 {
+		t.Error("not load 1")
+	}
+}
+
+func TestCrossProductErrors(t *testing.T) {
+	if _, err := CrossProduct(nil); err == nil {
+		t.Error("no axes accepted")
+	}
+	if _, err := CrossProduct([]int{1 << 20, 1 << 20}); err == nil {
+		t.Error("oversized host accepted")
+	}
+}
+
+func TestExpansionPowerOfTwoSides(t *testing.T) {
+	// Sides exactly 2^a: per-axis expansion 1, total expansion within
+	// Corollary 1's bound for the k-axis case.
+	e, err := CrossProduct([]int{16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x := Expansion(e.Embedding); x != 1.0 {
+		t.Errorf("expansion %f, want 1", x)
+	}
+	// 5×5 example from §4.5: each axis needs Q_4 here (Theorem 1
+	// minimum), so expansion is larger than the paper's Q_3-based 2,
+	// but the embedding stays valid.
+	e2, err := CrossProduct([]int{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if x := Expansion(e2.Embedding); x < 1 {
+		t.Errorf("expansion %f", x)
+	}
+}
+
+func TestSquaringIdentityWhenSquare(t *testing.T) {
+	s, err := NewSquaring(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Folds() != 0 || s.R != 8 || s.C != 8 {
+		t.Fatalf("square input folded: %d folds %dx%d", s.Folds(), s.R, s.C)
+	}
+	if s.MaxDilation() != 1 {
+		t.Errorf("identity dilation %d", s.MaxDilation())
+	}
+}
+
+func TestSquaringLongStrip(t *testing.T) {
+	for _, shape := range [][2]int{{2, 64}, {4, 64}, {1, 128}, {3, 100}, {64, 2}} {
+		s, err := NewSquaring(shape[0], shape[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.Injective() {
+			t.Fatalf("%v: collision", shape)
+		}
+		if s.C > 2*s.R || s.R > 2*s.C {
+			t.Errorf("%v: result %dx%d not near-square", shape, s.R, s.C)
+		}
+		area := s.R * s.C
+		orig := shape[0] * shape[1]
+		if area < orig || area > 2*orig+s.R+s.C {
+			t.Errorf("%v: area %d vs original %d", shape, area, orig)
+		}
+		// Fold dilation: 2 per fold.
+		want := 1
+		for i := 0; i < s.Folds(); i++ {
+			want *= 2
+		}
+		if d := s.MaxDilation(); d > want {
+			t.Errorf("%v: dilation %d > 2^folds %d", shape, d, want)
+		}
+	}
+}
+
+func TestSquaringRejectsBadShape(t *testing.T) {
+	if _, err := NewSquaring(0, 5); err == nil {
+		t.Error("zero side accepted")
+	}
+}
+
+func TestCompareRelaxationMappings(t *testing.T) {
+	const M, N = 1024, 16 // log N = 4, M multiple of 64
+	costs, err := CompareRelaxationMappings(M, N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) != 3 {
+		t.Fatalf("%d mappings", len(costs))
+	}
+	byKind := map[MappingKind]RelaxationCost{}
+	for _, c := range costs {
+		byKind[c.Kind] = c
+		if c.ComputePerPhase != int64(M/N)*int64(M/N) {
+			t.Errorf("%v: compute %d", c.Kind, c.ComputePerPhase)
+		}
+	}
+	// Traffic ordering (§8.3): O(MN) < O(MN log N) < O(M²).
+	if !(byKind[BlockMultiPath].TrafficPoints < byKind[BlockLargeCopy].TrafficPoints &&
+		byKind[BlockLargeCopy].TrafficPoints < byKind[PointLargeCopy].TrafficPoints) {
+		t.Errorf("traffic ordering violated: %+v", byKind)
+	}
+	// Exact values.
+	if byKind[PointLargeCopy].TrafficPoints != 4*1024*1024 {
+		t.Errorf("point traffic %d", byKind[PointLargeCopy].TrafficPoints)
+	}
+	if byKind[BlockMultiPath].TrafficPoints != 4*1024*16 {
+		t.Errorf("block traffic %d", byKind[BlockMultiPath].TrafficPoints)
+	}
+	if byKind[BlockLargeCopy].TrafficPoints != 4*1024*16*4 {
+		t.Errorf("block large-copy traffic %d", byKind[BlockLargeCopy].TrafficPoints)
+	}
+	// Phase steps: multi-path is asymptotically best (§2's
+	// Θ(M/(N log N)) vs Θ(M/N)).
+	if !(byKind[BlockMultiPath].PhaseSteps < byKind[BlockLargeCopy].PhaseSteps) {
+		t.Error("multi-path not faster than block large-copy")
+	}
+}
+
+func TestCompareRelaxationMappingsErrors(t *testing.T) {
+	if _, err := CompareRelaxationMappings(8, 16); err == nil {
+		t.Error("M < N accepted")
+	}
+	if _, err := CompareRelaxationMappings(1000, 16); err == nil {
+		t.Error("non-divisible M accepted")
+	}
+}
+
+func BenchmarkCrossProduct2D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := CrossProduct([]int{16, 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMultiCopyTorus(t *testing.T) {
+	mc, err := MultiCopyTorus(4, 2) // 4 copies of the 16x16 torus in Q_8
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mc.Copies) != 4 {
+		t.Fatalf("%d copies", len(mc.Copies))
+	}
+	if err := mc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := mc.Dilation(); d != 1 {
+		t.Errorf("dilation %d", d)
+	}
+	cong, err := mc.EdgeCongestion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward/reverse orientations of the same undirected cycle pair up,
+	// so the undirected torus costs congestion 2.
+	if cong > 2 {
+		t.Errorf("congestion %d, want ≤ 2 (§8.1)", cong)
+	}
+	if l := mc.NodeLoad(); l != 4 {
+		t.Errorf("node load %d", l)
+	}
+}
+
+func TestMultiCopyTorus3Axis(t *testing.T) {
+	mc, err := MultiCopyTorus(2, 3) // 2 copies of the 4x4x4 torus in Q_6
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cong, err := mc.EdgeCongestion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cong > 2 {
+		t.Errorf("congestion %d", cong)
+	}
+}
+
+func TestMultiCopyTorusErrors(t *testing.T) {
+	if _, err := MultiCopyTorus(3, 2); err == nil {
+		t.Error("odd a accepted")
+	}
+	if _, err := MultiCopyTorus(4, 8); err == nil {
+		t.Error("oversized torus accepted")
+	}
+	if _, err := MultiCopyTorus(4, 0); err == nil {
+		t.Error("zero axes accepted")
+	}
+}
+
+// §4.5's closing remark, "left to the reader": load-2^k torus
+// embeddings from Theorem 2 cross products.
+func TestLoad2Torus(t *testing.T) {
+	e, err := Load2Torus(4, 2) // 32×32 torus, load 4, in Q_8
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Guest.N() != 1024 {
+		t.Fatalf("guest %d vertices", e.Guest.N())
+	}
+	if l := e.Load(); l != 4 {
+		t.Errorf("load %d, want 2^k = 4", l)
+	}
+	w, err := e.Width()
+	if err != nil {
+		t.Fatalf("width: %v", err)
+	}
+	if want := cycles.RowSubcubeDim(4); w != want {
+		t.Errorf("width %d, want %d", w, want)
+	}
+	// Co-located guests (load 2 along the other axis) share identical
+	// axis paths, so each directed phase runs in 2 staggered 3-step
+	// waves: cost 6.
+	for axis := 0; axis < 2; axis++ {
+		for _, fwd := range []bool{true, false} {
+			c, err := e.StaggeredPhaseCost(axis, fwd)
+			if err != nil {
+				t.Fatalf("axis %d fwd %v: %v", axis, fwd, err)
+			}
+			if c != 6 {
+				t.Errorf("axis %d fwd %v: cost %d, want 6", axis, fwd, c)
+			}
+		}
+	}
+}
+
+func TestLoad2Torus3Axis(t *testing.T) {
+	e, err := Load2Torus(4, 3) // load 8 in Q_12
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l := e.Load(); l != 8 {
+		t.Errorf("load %d, want 8", l)
+	}
+	// 2^{k-1} = 4 co-located guests per phase edge: 4 waves of 3 steps.
+	if c, err := e.StaggeredPhaseCost(1, true); err != nil || c != 12 {
+		t.Fatalf("staggered phase cost %d err %v", c, err)
+	}
+}
+
+func TestLoad2TorusRejects(t *testing.T) {
+	if _, err := Load2Torus(4, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Load2Torus(12, 4); err == nil {
+		t.Error("oversized accepted")
+	}
+}

@@ -1,0 +1,172 @@
+package grid
+
+import (
+	"fmt"
+
+	"multipath/internal/core"
+	"multipath/internal/cycles"
+	"multipath/internal/graph"
+	"multipath/internal/hypercube"
+)
+
+// §4.5's closing remark, "left to the reader": the Theorem 2 load-2
+// cycle embeddings compose under cross products into load-2^k
+// embeddings of k-axis tori that use the hypercube links more fully
+// than the load-1 grids of Corollary 1.
+
+// Load2Torus embeds the k-axis torus with every side 2^{a+1} into
+// Q_{a·k} with load 2^k: each axis uses Theorem 2's load-2 embedding of
+// the 2^{a+1}-node cycle in Q_a. Each directed axis phase inherits the
+// 3-step synchronized cost and, for a = n/2 a power of two with the
+// axis host ≡ 0 (mod 4), the axis's full link utilization.
+func Load2Torus(a, k int) (*GridEmbedding, error) {
+	if k < 1 || a*k > 24 {
+		return nil, fmt.Errorf("grid: unsupported torus parameters a=%d k=%d", a, k)
+	}
+	axis, err := cycles.Theorem2(a)
+	if err != nil {
+		return nil, err
+	}
+	side := axis.Guest.N() // 2^{a+1}
+	q := hypercube.New(a * k)
+
+	sides := make([]int, k)
+	strides := make([]int, k)
+	for i := range sides {
+		sides[i] = side
+	}
+	strides[k-1] = 1
+	for t := k - 2; t >= 0; t-- {
+		strides[t] = strides[t+1] * side
+	}
+	total := 1
+	for range sides {
+		total *= side
+	}
+	// Torus guest with both orientations along each axis.
+	g := graph.New(total)
+	for v := 0; v < total; v++ {
+		rem := v
+		for t := 0; t < k; t++ {
+			x := rem / strides[t]
+			rem %= strides[t]
+			next := v + strides[t]
+			if x == side-1 {
+				next = v - (side-1)*strides[t]
+			}
+			g.AddEdge(int32(v), int32(next))
+			prev := v - strides[t]
+			if x == 0 {
+				prev = v + (side-1)*strides[t]
+			}
+			g.AddEdge(int32(v), int32(prev))
+		}
+	}
+
+	coordsOf := func(v int32) []int {
+		out := make([]int, k)
+		rem := int(v)
+		for t := 0; t < k; t++ {
+			out[t] = rem / strides[t]
+			rem %= strides[t]
+		}
+		return out
+	}
+	// Axis placement and paths: coordinate x on axis t maps to the
+	// axis embedding's host node, shifted into the axis's subcube
+	// (axis t occupies bits [(k-1-t)·a, (k-t)·a)).
+	place := func(coords []int) hypercube.Node {
+		var h hypercube.Node
+		for t, x := range coords {
+			h |= axis.VertexMap[x] << uint((k-1-t)*a)
+		}
+		return h
+	}
+	e := &core.Embedding{
+		Host:      q,
+		Guest:     g,
+		VertexMap: make([]hypercube.Node, total),
+		Paths:     make([][]core.Path, g.M()),
+	}
+	out := &GridEmbedding{
+		Embedding:   e,
+		Sides:       sides,
+		EdgeAxis:    make([]int, g.M()),
+		EdgeForward: make([]bool, g.M()),
+	}
+	for v := int32(0); int(v) < total; v++ {
+		e.VertexMap[v] = place(coordsOf(v))
+	}
+	// Reverse paths of the axis embedding, built once.
+	revPaths := make([][]core.Path, len(axis.Paths))
+	for i, ps := range axis.Paths {
+		rp := make([]core.Path, len(ps))
+		for j, p := range ps {
+			r := make(core.Path, len(p))
+			for t2, node := range p {
+				r[len(p)-1-t2] = node
+			}
+			rp[j] = r
+		}
+		revPaths[i] = rp
+	}
+	for i, ge := range g.Edges() {
+		cu := coordsOf(ge.U)
+		cv := coordsOf(ge.V)
+		axisT := -1
+		for t := range cu {
+			if cu[t] != cv[t] {
+				axisT = t
+				break
+			}
+		}
+		forward := cv[axisT] == (cu[axisT]+1)%side
+		var ps []core.Path
+		if forward {
+			ps = axis.Paths[cu[axisT]]
+			out.EdgeForward[i] = true
+		} else {
+			ps = revPaths[cv[axisT]]
+		}
+		out.EdgeAxis[i] = axisT
+		shift := uint((k - 1 - axisT) * a)
+		mask := (hypercube.Node(1)<<uint(a) - 1) << shift
+		base := e.VertexMap[ge.U] &^ mask
+		lifted := make([]core.Path, len(ps))
+		for j, p := range ps {
+			lp := make(core.Path, len(p))
+			for t2, node := range p {
+				lp[t2] = base | node<<shift
+			}
+			lifted[j] = lp
+		}
+		e.Paths[i] = lifted
+	}
+	return out, nil
+}
+
+// StaggeredPhaseCost schedules one directed phase of a loaded torus:
+// guests co-located on the same host node have identical axis paths,
+// so their transfers serialize in 3-step waves. The cost is 3 times
+// the maximum number of co-located guests per phase edge (3·2^{k-1}
+// for Load2Torus); for load-1 grids it coincides with PhaseCost.
+func (ge *GridEmbedding) StaggeredPhaseCost(axis int, forward bool) (int, error) {
+	launches := make([][]core.Launch, len(ge.Paths))
+	type key struct{ u, v hypercube.Node }
+	seen := make(map[key]int)
+	for i := range ge.Paths {
+		if ge.EdgeAxis[i] != axis || ge.EdgeForward[i] != forward {
+			continue
+		}
+		e := ge.Guest.Edge(i)
+		k := key{ge.VertexMap[e.U], ge.VertexMap[e.V]}
+		wave := seen[k]
+		seen[k]++
+		ls := make([]core.Launch, len(ge.Paths[i]))
+		for j := range ge.Paths[i] {
+			ls[j] = core.Launch{Path: j, Start: 3 * wave}
+		}
+		launches[i] = ls
+	}
+	return ge.ScheduleCost(launches)
+}

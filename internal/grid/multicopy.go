@@ -1,0 +1,83 @@
+package grid
+
+import (
+	"fmt"
+
+	"multipath/internal/core"
+	"multipath/internal/guests"
+	"multipath/internal/hamdecomp"
+	"multipath/internal/hypercube"
+)
+
+// §8.1: multiple-copy embeddings of grids from the multiple-copy
+// embeddings of cycles (Lemma 1), by cross-product decomposition.
+// Copy i of the k-axis 2^a-ary torus uses Lemma 1's directed cycle i on
+// every axis; since the cycles are pairwise edge-disjoint within each
+// factor subcube, the copies are edge-disjoint overall: a copies with
+// dilation 1 and edge-congestion 1.
+
+// MultiCopyTorus embeds a copies of the k-axis torus with every side
+// 2^a into Q_{a·k}. a must be even (Lemma 1), a·k ≤ 26.
+func MultiCopyTorus(a, k int) (*core.MultiCopy, error) {
+	if a < 2 || a%2 != 0 {
+		return nil, fmt.Errorf("grid: need even a ≥ 2, got %d", a)
+	}
+	if k < 1 || a*k > 26 {
+		return nil, fmt.Errorf("grid: unsupported torus %d^%d", 1<<uint(a), k)
+	}
+	dec, err := hamdecomp.Decompose(a)
+	if err != nil {
+		return nil, err
+	}
+	cyclesDir := dec.Directed()
+	q := hypercube.New(a * k)
+	side := 1 << uint(a)
+	sides := make([]int, k)
+	for i := range sides {
+		sides[i] = side
+	}
+	g := guests.Grid(sides, true)
+
+	// Row-major coordinates: axis 0 slowest; axis t occupies host bits
+	// [(k-1-t)·a, (k-t)·a).
+	strides := make([]int, k)
+	strides[k-1] = 1
+	for t := k - 2; t >= 0; t-- {
+		strides[t] = strides[t+1] * side
+	}
+	coordsOf := func(v int32) []int {
+		out := make([]int, k)
+		rem := int(v)
+		for t := 0; t < k; t++ {
+			out[t] = rem / strides[t]
+			rem %= strides[t]
+		}
+		return out
+	}
+	copies := make([]*core.Embedding, len(cyclesDir))
+	for ci, cyc := range cyclesDir {
+		e := &core.Embedding{
+			Host:      q,
+			Guest:     g,
+			VertexMap: make([]hypercube.Node, g.N()),
+			Paths:     make([][]core.Path, g.M()),
+		}
+		for v := int32(0); int(v) < g.N(); v++ {
+			coords := coordsOf(v)
+			var h hypercube.Node
+			for t, x := range coords {
+				h |= cyc[x] << uint((k-1-t)*a)
+			}
+			e.VertexMap[v] = h
+		}
+		for i, ge := range g.Edges() {
+			from, to := e.VertexMap[ge.U], e.VertexMap[ge.V]
+			if _, err := q.Dim(from, to); err != nil {
+				return nil, fmt.Errorf("grid: copy %d edge %d not dilation 1: %w", ci, i, err)
+			}
+			e.Paths[i] = []core.Path{{from, to}}
+		}
+		copies[ci] = e
+	}
+	return &core.MultiCopy{Host: q, Copies: copies}, nil
+}

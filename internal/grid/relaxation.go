@@ -1,0 +1,101 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// §8.3: three ways to map an M × M grid relaxation onto an N × N-node
+// hypercube (2^n = N², n = 2 log N), compared by communication volume
+// and by the per-phase step count of the embedding that carries it.
+
+// MappingKind identifies one of the §8.3 strategies.
+type MappingKind int
+
+const (
+	// PointLargeCopy treats every grid point as a process and uses a
+	// large-copy embedding: M²/N² points per processor, traffic O(M²).
+	PointLargeCopy MappingKind = iota
+	// BlockMultiPath groups points into M/N × M/N blocks, one per
+	// processor, communicating block perimeters over the width-w
+	// multiple-path N × N grid embedding: traffic O(MN).
+	BlockMultiPath
+	// BlockLargeCopy groups points into M/(N log N)-wide blocks and
+	// uses a large-copy embedding of the N log N × N log N process
+	// grid: traffic O(MN log N).
+	BlockLargeCopy
+)
+
+func (k MappingKind) String() string {
+	switch k {
+	case PointLargeCopy:
+		return "point/large-copy"
+	case BlockMultiPath:
+		return "block/multi-path"
+	case BlockLargeCopy:
+		return "block/large-copy"
+	default:
+		return fmt.Sprintf("MappingKind(%d)", int(k))
+	}
+}
+
+// RelaxationCost summarizes one §8.3 mapping for an M × M grid on N²
+// processors.
+type RelaxationCost struct {
+	Kind            MappingKind
+	ProcsPerNode    int     // guest processes per hypercube node
+	TrafficPoints   int64   // grid-point values crossing links per phase
+	ValuesPerSend   int     // values each process ships to one neighbor
+	PhaseSteps      float64 // estimated steps per communication phase
+	ComputePerPhase int64   // point updates per node per phase (equal for all)
+}
+
+// CompareRelaxationMappings evaluates the three strategies of §8.3.
+// M must be a multiple of N·⌈log2 N⌉ so every strategy divides evenly.
+func CompareRelaxationMappings(m, n int) ([]RelaxationCost, error) {
+	if n < 2 || m < n {
+		return nil, fmt.Errorf("grid: need M ≥ N ≥ 2, got M=%d N=%d", m, n)
+	}
+	logN := int(math.Round(math.Log2(float64(n))))
+	if logN < 1 {
+		logN = 1
+	}
+	if m%(n*logN) != 0 {
+		return nil, fmt.Errorf("grid: M=%d must be a multiple of N·log N = %d", m, n*logN)
+	}
+	compute := int64(m/n) * int64(m/n)
+	width := logN // multiple-path width available per guest edge ≈ log N
+	out := []RelaxationCost{
+		{
+			Kind:          PointLargeCopy,
+			ProcsPerNode:  (m / n) * (m / n),
+			TrafficPoints: 4 * int64(m) * int64(m),
+			ValuesPerSend: 1,
+			// Each link is the image of O(M²/(N² log N)) paths, and
+			// each path ships one value per phase.
+			PhaseSteps:      float64(m) * float64(m) / (float64(n) * float64(n) * float64(logN)),
+			ComputePerPhase: compute,
+		},
+		{
+			Kind:          BlockMultiPath,
+			ProcsPerNode:  1,
+			TrafficPoints: 4 * int64(m) * int64(n),
+			ValuesPerSend: m / n,
+			// M/N values over width-log N disjoint paths, 3 steps per
+			// batch: Θ(M/(N log N)) (§2).
+			PhaseSteps:      3 * float64(m) / (float64(n) * float64(width)),
+			ComputePerPhase: compute,
+		},
+		{
+			Kind:          BlockLargeCopy,
+			ProcsPerNode:  logN * logN,
+			TrafficPoints: 4 * int64(m) * int64(n) * int64(logN),
+			ValuesPerSend: m / (n * logN),
+			// log N paths per link, each carrying M/(N log N) values
+			// with dilation 1: Θ(M/N) steps.
+			PhaseSteps:      float64(m) / float64(n),
+			ComputePerPhase: compute,
+		},
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+// Package guests constructs the guest (computation) graphs that the
+// paper embeds: directed cycles and paths, k-axis grids and tori,
+// complete binary trees, and arbitrary binary trees.
+package guests
+
+import (
+	"fmt"
+	"math/rand"
+
+	"multipath/internal/graph"
+)
+
+// DirectedCycle returns the directed cycle 0→1→...→L-1→0.
+func DirectedCycle(L int) *graph.Graph {
+	if L < 2 {
+		panic("guests: cycle length must be at least 2")
+	}
+	g := graph.New(L)
+	for i := 0; i < L; i++ {
+		g.AddEdge(int32(i), int32((i+1)%L))
+	}
+	return g
+}
+
+// UndirectedCycle returns the cycle with both edge orientations.
+func UndirectedCycle(L int) *graph.Graph {
+	if L < 3 {
+		panic("guests: undirected cycle length must be at least 3")
+	}
+	g := graph.New(L)
+	for i := 0; i < L; i++ {
+		g.AddUndirected(int32(i), int32((i+1)%L))
+	}
+	return g
+}
+
+// Path returns the directed path 0→1→...→L-1 (no wrap edge).
+func Path(L int) *graph.Graph {
+	if L < 2 {
+		panic("guests: path length must be at least 2")
+	}
+	g := graph.New(L)
+	for i := 0; i+1 < L; i++ {
+		g.AddEdge(int32(i), int32(i+1))
+	}
+	return g
+}
+
+// Grid returns the k-axis grid with the given side lengths, with both
+// orientations of every mesh edge (relaxation-style communication).
+// Vertex ⟨x_0, ..., x_{k-1}⟩ is numbered in row-major order with axis 0
+// slowest. If torus is true, wrap edges are included along each axis.
+func Grid(sides []int, torus bool) *graph.Graph {
+	if len(sides) == 0 {
+		panic("guests: grid needs at least one axis")
+	}
+	total := 1
+	for _, s := range sides {
+		if s < 2 {
+			panic(fmt.Sprintf("guests: grid side %d too small", s))
+		}
+		total *= s
+	}
+	strides := make([]int, len(sides))
+	strides[len(sides)-1] = 1
+	for a := len(sides) - 2; a >= 0; a-- {
+		strides[a] = strides[a+1] * sides[a+1]
+	}
+	g := graph.New(total)
+	coord := make([]int, len(sides))
+	for v := 0; v < total; v++ {
+		rem := v
+		for a := range sides {
+			coord[a] = rem / strides[a]
+			rem %= strides[a]
+		}
+		for a := range sides {
+			if coord[a]+1 < sides[a] {
+				g.AddUndirected(int32(v), int32(v+strides[a]))
+			} else if torus && sides[a] > 2 {
+				g.AddUndirected(int32(v), int32(v-(sides[a]-1)*strides[a]))
+			}
+		}
+	}
+	return g
+}
+
+// CompleteBinaryTree returns the complete binary tree with levels
+// levels (2^levels - 1 vertices) in heap order: vertex i has children
+// 2i+1 and 2i+2. Both edge orientations are present.
+func CompleteBinaryTree(levels int) *graph.Graph {
+	if levels < 1 {
+		panic("guests: tree needs at least one level")
+	}
+	n := 1<<uint(levels) - 1
+	g := graph.New(n)
+	for i := 0; 2*i+2 < n+1; i++ {
+		if 2*i+1 < n {
+			g.AddUndirected(int32(i), int32(2*i+1))
+		}
+		if 2*i+2 < n {
+			g.AddUndirected(int32(i), int32(2*i+2))
+		}
+	}
+	return g
+}
+
+// TreeParent returns the heap-order parent of complete-binary-tree
+// vertex i (i ≥ 1).
+func TreeParent(i int32) int32 { return (i - 1) / 2 }
+
+// RandomBinaryTree returns a random binary tree on n vertices: each
+// vertex after the root attaches to a uniformly random earlier vertex
+// that still has a free child slot. Vertices are numbered in insertion
+// order; both edge orientations are present. The structure is
+// reproducible from the seed.
+func RandomBinaryTree(n int, seed int64) *graph.Graph {
+	if n < 1 {
+		panic("guests: tree needs at least one vertex")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	slots := make([]int32, 0, n) // vertices with < 2 children
+	childCount := make([]int, n)
+	slots = append(slots, 0)
+	for v := int32(1); int(v) < n; v++ {
+		i := rng.Intn(len(slots))
+		parent := slots[i]
+		g.AddUndirected(parent, v)
+		childCount[parent]++
+		if childCount[parent] == 2 {
+			slots[i] = slots[len(slots)-1]
+			slots = slots[:len(slots)-1]
+		}
+		slots = append(slots, v)
+	}
+	return g
+}

@@ -1,0 +1,166 @@
+package guests
+
+import (
+	"testing"
+
+	"multipath/internal/graph"
+)
+
+func TestDirectedCycle(t *testing.T) {
+	g := DirectedCycle(6)
+	if g.N() != 6 || g.M() != 6 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	seq := []int32{0, 1, 2, 3, 4, 5}
+	if err := graph.IsHamiltonianCycleIn(g, seq); err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxOutDegree() != 1 {
+		t.Errorf("max out-degree %d", g.MaxOutDegree())
+	}
+}
+
+func TestUndirectedCycle(t *testing.T) {
+	g := UndirectedCycle(5)
+	if g.M() != 10 {
+		t.Fatalf("M=%d", g.M())
+	}
+	if !g.HasEdge(4, 0) || !g.HasEdge(0, 4) {
+		t.Error("wrap edges missing")
+	}
+}
+
+func TestPath(t *testing.T) {
+	g := Path(4)
+	if g.M() != 3 {
+		t.Fatalf("M=%d", g.M())
+	}
+	if g.HasEdge(3, 0) {
+		t.Error("path has wrap edge")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"cycle":  func() { DirectedCycle(1) },
+		"ucycle": func() { UndirectedCycle(2) },
+		"path":   func() { Path(1) },
+		"grid":   func() { Grid(nil, false) },
+		"side":   func() { Grid([]int{4, 1}, false) },
+		"tree":   func() { CompleteBinaryTree(0) },
+		"rtree":  func() { RandomBinaryTree(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g := Grid([]int{3, 4}, false)
+	if g.N() != 12 {
+		t.Fatalf("N=%d", g.N())
+	}
+	// 2·(edges): horizontal 3·3=9, vertical 2·4=8 → 17 undirected, 34 directed.
+	if g.M() != 34 {
+		t.Fatalf("M=%d", g.M())
+	}
+	// Vertex (r,c) = 4r+c; (1,2)=6 adjacent to 2,5,7,10.
+	for _, w := range []int32{2, 5, 7, 10} {
+		if !g.HasEdge(6, w) {
+			t.Errorf("missing edge 6-%d", w)
+		}
+	}
+	if g.HasEdge(3, 4) {
+		t.Error("row wrap present in non-torus grid")
+	}
+}
+
+func TestTorus2D(t *testing.T) {
+	g := Grid([]int{3, 4}, true)
+	// Every vertex has degree 4 (both axes ≥ 3): 12·4 = 48 directed.
+	if g.M() != 48 {
+		t.Fatalf("M=%d", g.M())
+	}
+	if !g.HasEdge(3, 0) {
+		t.Error("column wrap missing")
+	}
+	if !g.HasEdge(0, 8) {
+		t.Error("row wrap missing")
+	}
+}
+
+func TestTorusSide2NoDoubleEdge(t *testing.T) {
+	// Sides of length 2 must not generate duplicate wrap edges.
+	g := Grid([]int{2, 4}, true)
+	for u := int32(0); u < 4; u++ {
+		v := u + 4
+		count := 0
+		for _, w := range g.Out(u) {
+			if w == v {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Errorf("edge %d-%d multiplicity %d", u, v, count)
+		}
+	}
+}
+
+func TestGrid3D(t *testing.T) {
+	g := Grid([]int{2, 3, 2}, false)
+	if g.N() != 12 {
+		t.Fatalf("N=%d", g.N())
+	}
+	// Undirected edges: axis0 1·3·2=6, axis1 2·2·2=8, axis2 2·3·1=6 → 20; directed 40.
+	if g.M() != 40 {
+		t.Fatalf("M=%d", g.M())
+	}
+}
+
+func TestCompleteBinaryTree(t *testing.T) {
+	g := CompleteBinaryTree(4)
+	if g.N() != 15 || g.M() != 28 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 2) || !g.HasEdge(6, 14) {
+		t.Error("expected tree edges missing")
+	}
+	if TreeParent(14) != 6 || TreeParent(1) != 0 {
+		t.Error("TreeParent wrong")
+	}
+	// Connectivity.
+	if c := graph.ConnectedFrom(g, 0); c != 15 {
+		t.Errorf("connected = %d", c)
+	}
+}
+
+func TestRandomBinaryTree(t *testing.T) {
+	g := RandomBinaryTree(100, 42)
+	if g.N() != 100 || g.M() != 2*99 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if c := graph.ConnectedFrom(g, 0); c != 100 {
+		t.Errorf("connected = %d", c)
+	}
+	// Degree bound: root ≤ 2 children; others ≤ 1 parent + 2 children.
+	for v := int32(0); v < 100; v++ {
+		if d := g.OutDegree(v); d > 3 {
+			t.Errorf("vertex %d degree %d", v, d)
+		}
+	}
+	// Determinism.
+	h := RandomBinaryTree(100, 42)
+	if !g.Equal(h) {
+		t.Error("same seed produced different trees")
+	}
+	k := RandomBinaryTree(100, 43)
+	if g.Equal(k) {
+		t.Error("different seeds produced identical trees")
+	}
+}

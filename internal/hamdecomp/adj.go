@@ -1,0 +1,140 @@
+// Package hamdecomp constructs Hamiltonian decompositions of boolean
+// hypercubes: for even n, the edges of Q_n partition into n/2
+// undirected Hamiltonian cycles; for odd n, into (n-1)/2 cycles plus a
+// perfect matching (Alspach, Bermond & Sotteau, cited as [3] in
+// Greenberg & Bhatt). Orienting each undirected cycle in both
+// directions yields Lemma 1's 2⌊n/2⌋ edge-disjoint directed
+// Hamiltonian cycles.
+//
+// The construction is fully explicit and self-verifying:
+//
+//  1. Base/step: Q_{2k+2} = Q_{2k} × C_4 (the two new dimensions form a
+//     4-cycle in Gray order). The product of the first cycle of the
+//     Q_{2k} decomposition with C_4 is a torus C_L × C_4, which is
+//     decomposed into two Hamiltonian cycles by an explicit
+//     "column-climber plus complement" pattern (a Kotzig-style
+//     decomposition).
+//  2. Each remaining cycle of Q_{2k} appears as four disconnected layer
+//     copies; they are merged into single Hamiltonian cycles by *cycle
+//     surgery*: a pair of vertical (new-dimension) edges is taken from
+//     one of the torus cycles in exchange for the pair of displaced
+//     horizontal edges, with an explicit re-check that the donor stays
+//     a single cycle.
+//
+// Every public result is checked by Verify before being returned from
+// Decompose, so an impossible surgery or a pattern failure surfaces as
+// an error, never as a silently wrong decomposition.
+package hamdecomp
+
+import "fmt"
+
+// none marks an empty neighbor slot.
+const none = ^uint32(0)
+
+// adjCycle is a 2-regular spanning subgraph (a union of cycles) on
+// nodes 0..n-1, stored as two neighbor slots per node. It supports the
+// edge swaps used by cycle surgery and O(n) single-cycle checks.
+type adjCycle struct {
+	nbr [][2]uint32
+}
+
+func newAdjCycle(n int) *adjCycle {
+	a := &adjCycle{nbr: make([][2]uint32, n)}
+	for i := range a.nbr {
+		a.nbr[i] = [2]uint32{none, none}
+	}
+	return a
+}
+
+// fromSequence builds the cycle structure of a closed node sequence.
+func fromSequence(n int, seq []uint32) *adjCycle {
+	a := newAdjCycle(n)
+	for i, u := range seq {
+		a.addEdge(u, seq[(i+1)%len(seq)])
+	}
+	return a
+}
+
+func (a *adjCycle) addEdge(u, v uint32) {
+	a.attach(u, v)
+	a.attach(v, u)
+}
+
+func (a *adjCycle) attach(u, v uint32) {
+	s := &a.nbr[u]
+	switch {
+	case s[0] == none:
+		s[0] = v
+	case s[1] == none:
+		s[1] = v
+	default:
+		panic(fmt.Sprintf("hamdecomp: node %d already has two neighbors", u))
+	}
+}
+
+func (a *adjCycle) removeEdge(u, v uint32) {
+	a.detach(u, v)
+	a.detach(v, u)
+}
+
+func (a *adjCycle) detach(u, v uint32) {
+	s := &a.nbr[u]
+	switch {
+	case s[0] == v:
+		s[0] = none
+	case s[1] == v:
+		s[1] = none
+	default:
+		panic(fmt.Sprintf("hamdecomp: edge (%d,%d) not present", u, v))
+	}
+}
+
+func (a *adjCycle) hasEdge(u, v uint32) bool {
+	s := a.nbr[u]
+	return s[0] == v || s[1] == v
+}
+
+// walkFrom returns the cycle through start as a node sequence, or nil
+// if the walk encounters a missing neighbor (degree < 2).
+func (a *adjCycle) walkFrom(start uint32) []uint32 {
+	seq := make([]uint32, 0, len(a.nbr))
+	prev := none
+	cur := start
+	for {
+		seq = append(seq, cur)
+		s := a.nbr[cur]
+		var next uint32
+		switch {
+		case s[0] != prev && s[0] != none:
+			next = s[0]
+		case s[1] != prev && s[1] != none:
+			next = s[1]
+		default:
+			return nil
+		}
+		prev, cur = cur, next
+		if cur == start {
+			return seq
+		}
+		if len(seq) > len(a.nbr) {
+			return nil
+		}
+	}
+}
+
+// isSingleCycle reports whether the structure is one cycle spanning all
+// nodes.
+func (a *adjCycle) isSingleCycle() bool {
+	seq := a.walkFrom(0)
+	return seq != nil && len(seq) == len(a.nbr)
+}
+
+// sequence extracts the single spanning cycle, panicking if the
+// structure is not one (callers verify first).
+func (a *adjCycle) sequence() []uint32 {
+	seq := a.walkFrom(0)
+	if seq == nil || len(seq) != len(a.nbr) {
+		panic("hamdecomp: structure is not a single spanning cycle")
+	}
+	return seq
+}

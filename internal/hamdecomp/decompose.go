@@ -1,0 +1,307 @@
+package hamdecomp
+
+import (
+	"fmt"
+
+	"multipath/internal/bitutil"
+	"multipath/internal/hypercube"
+)
+
+// grayLayer lists the four 2-bit layer codes in Gray (C_4) order, so
+// consecutive layers differ in one bit.
+var grayLayer = [4]uint32{0b00, 0b01, 0b11, 0b10}
+
+// Decomposition is a Hamiltonian decomposition of Q_n. For even n it
+// has n/2 cycles and no matching; for odd n, (n-1)/2 cycles plus a
+// perfect matching. Each cycle is a closed node sequence of length 2^n;
+// together with the matching, the cycles partition the undirected edges
+// of Q_n.
+type Decomposition struct {
+	N        int
+	Cycles   [][]hypercube.Node
+	Matching [][2]hypercube.Node // nil for even n
+}
+
+// Decompose constructs and verifies the Hamiltonian decomposition of
+// Q_n for n ≥ 2. Results are deterministic.
+func Decompose(n int) (*Decomposition, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("hamdecomp: Q_%d has no Hamiltonian decomposition", n)
+	}
+	even := n &^ 1
+	cycles := [][]hypercube.Node{seqOfQ2()}
+	for k := 2; k < even; k += 2 {
+		var err error
+		cycles, err = lift(cycles, k)
+		if err != nil {
+			return nil, err
+		}
+	}
+	d := &Decomposition{N: even, Cycles: cycles}
+	if n%2 == 1 {
+		var err error
+		d, err = extendOdd(d)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := d.Verify(); err != nil {
+		return nil, fmt.Errorf("hamdecomp: internal verification failed for Q_%d: %w", n, err)
+	}
+	return d, nil
+}
+
+// seqOfQ2 returns the single Hamiltonian cycle of Q_2.
+func seqOfQ2() []hypercube.Node {
+	return []hypercube.Node{0b00, 0b01, 0b11, 0b10}
+}
+
+// lift turns a decomposition of Q_k (k even) into one of Q_{k+2}. The
+// two new dimensions k and k+1 hold a Gray-ordered 4-cycle of layers.
+// The first input cycle is crossed with the layer cycle and split into
+// two Hamiltonian cycles of Q_{k+2} (torusDecompose); each remaining
+// input cycle appears as four layer copies, merged into one Hamiltonian
+// cycle by three surgeries that trade a pair of vertical edges from one
+// of the torus cycles for the pair of displaced horizontal edges.
+func lift(prev [][]hypercube.Node, k int) ([][]hypercube.Node, error) {
+	L := 1 << uint(k)
+	size := 4 * L
+	base := prev[0]
+	encode := func(x, y int) uint32 {
+		return grayLayer[y]<<uint(k) | base[x]
+	}
+	a, b, err := torusDecompose(L, encode)
+	if err != nil {
+		return nil, err
+	}
+	donors := [2]*adjCycle{a, b}
+	merges := make([][]hypercube.Node, 0, len(prev)-1)
+
+	at := func(y int, v hypercube.Node) uint32 {
+		return grayLayer[y]<<uint(k) | v
+	}
+	for i := 1; i < len(prev); i++ {
+		h := prev[i]
+		merged := newAdjCycle(size)
+		for y := 0; y < 4; y++ {
+			for j, u := range h {
+				merged.addEdge(at(y, u), at(y, h[(j+1)%L]))
+			}
+		}
+		for m := 0; m < 3; m++ {
+			if err := mergeLayers(merged, donors, h, m, at); err != nil {
+				return nil, fmt.Errorf("lift to Q_%d, cycle %d: %w", k+2, i, err)
+			}
+		}
+		if !merged.isSingleCycle() {
+			return nil, fmt.Errorf("lift to Q_%d, cycle %d: merge left multiple components", k+2, i)
+		}
+		merges = append(merges, merged.sequence())
+	}
+	// Donor sequences are extracted only after all surgeries, since
+	// every merge mutates one of them.
+	out := make([][]hypercube.Node, 0, len(prev)+1)
+	out = append(out, a.sequence(), b.sequence())
+	return append(out, merges...), nil
+}
+
+// mergeLayers joins the component of merged containing layer m to the
+// (still untouched) copy in layer m+1. It scans the base cycle h for an
+// edge (u, v) whose two vertical edges between layers m and m+1 belong
+// to the same donor and can be exchanged while keeping that donor a
+// single cycle.
+func mergeLayers(merged *adjCycle, donors [2]*adjCycle, h []hypercube.Node, m int, at func(int, hypercube.Node) uint32) error {
+	L := len(h)
+	for j := 0; j < L; j++ {
+		u, v := h[j], h[(j+1)%L]
+		um, vm := at(m, u), at(m, v)
+		um1, vm1 := at(m+1, u), at(m+1, v)
+		// Both horizontal copies must still be present (an earlier
+		// surgery may have displaced the layer-m copy).
+		if !merged.hasEdge(um, vm) || !merged.hasEdge(um1, vm1) {
+			continue
+		}
+		var donor *adjCycle
+		for _, d := range donors {
+			if d.hasEdge(um, um1) && d.hasEdge(vm, vm1) {
+				donor = d
+				break
+			}
+		}
+		if donor == nil {
+			continue
+		}
+		// Tentative exchange: donor gives its two vertical edges and
+		// absorbs the two displaced horizontal edges.
+		donor.removeEdge(um, um1)
+		donor.removeEdge(vm, vm1)
+		donor.addEdge(um, vm)
+		donor.addEdge(um1, vm1)
+		if !donor.isSingleCycle() {
+			donor.removeEdge(um, vm)
+			donor.removeEdge(um1, vm1)
+			donor.addEdge(um, um1)
+			donor.addEdge(vm, vm1)
+			continue
+		}
+		merged.removeEdge(um, vm)
+		merged.removeEdge(um1, vm1)
+		merged.addEdge(um, um1)
+		merged.addEdge(vm, vm1)
+		return nil
+	}
+	return fmt.Errorf("no viable surgery between layers %d and %d", m, m+1)
+}
+
+// extendOdd turns a decomposition of Q_{n} (n even) into one of
+// Q_{n+1}: each cycle's two copies across the new top dimension are
+// merged with two matching edges; the displaced cycle edges join the
+// leftover edges of the new dimension to form a perfect matching.
+func extendOdd(d *Decomposition) (*Decomposition, error) {
+	n := d.N
+	half := 1 << uint(n)
+	top := hypercube.Node(1) << uint(n)
+	used := make(map[hypercube.Node]bool, 2*len(d.Cycles))
+	// matched[v] records whether node v (lower copy) keeps its vertical
+	// matching edge.
+	vertical := make([]bool, half)
+	for i := range vertical {
+		vertical[i] = true
+	}
+	var extra [][2]hypercube.Node
+	out := make([][]hypercube.Node, 0, len(d.Cycles))
+	for ci, h := range d.Cycles {
+		L := len(h)
+		j := -1
+		for t := 0; t < L; t++ {
+			u, v := h[t], h[(t+1)%L]
+			if !used[u] && !used[v] {
+				j = t
+				break
+			}
+		}
+		if j < 0 {
+			return nil, fmt.Errorf("hamdecomp: no free merge edge on cycle %d", ci)
+		}
+		u, v := h[j], h[(j+1)%L]
+		used[u], used[v] = true, true
+		vertical[u], vertical[v] = false, false
+		extra = append(extra, [2]hypercube.Node{u, v}, [2]hypercube.Node{u | top, v | top})
+		// Build merged cycle: lower copy from v around to u, cross up,
+		// upper copy from u|top back around to v|top, cross down.
+		seq := make([]hypercube.Node, 0, 2*L)
+		for t := 0; t < L; t++ {
+			seq = append(seq, h[(j+1+t)%L]) // v ... u
+		}
+		for t := 0; t < L; t++ {
+			seq = append(seq, h[(j+L-t)%L]|top) // u|top ... v|top
+		}
+		out = append(out, seq)
+	}
+	matching := make([][2]hypercube.Node, 0, half)
+	for v := hypercube.Node(0); v < hypercube.Node(half); v++ {
+		if vertical[v] {
+			matching = append(matching, [2]hypercube.Node{v, v | top})
+		}
+	}
+	matching = append(matching, extra...)
+	return &Decomposition{N: n + 1, Cycles: out, Matching: matching}, nil
+}
+
+// Verify checks the decomposition exhaustively: every cycle is a
+// Hamiltonian cycle of Q_n, the matching (if any) is a perfect
+// matching, and all pieces together use every undirected edge of Q_n
+// exactly once.
+func (d *Decomposition) Verify() error {
+	n := d.N
+	size := 1 << uint(n)
+	wantCycles := n / 2
+	if n%2 == 1 && len(d.Matching) != size/2 {
+		return fmt.Errorf("matching has %d edges, want %d", len(d.Matching), size/2)
+	}
+	if n%2 == 0 && d.Matching != nil {
+		return fmt.Errorf("even dimension with non-nil matching")
+	}
+	if len(d.Cycles) != wantCycles {
+		return fmt.Errorf("%d cycles, want %d", len(d.Cycles), wantCycles)
+	}
+	// Edge usage bitmap over undirected edges (u, d) with bit d of u = 0.
+	usage := make([]int8, size*n)
+	undirected := func(u, v hypercube.Node) (int, error) {
+		x := u ^ v
+		if x == 0 || x&(x-1) != 0 || x >= 1<<uint(n) {
+			return 0, fmt.Errorf("nodes %d and %d not adjacent in Q_%d", u, v, n)
+		}
+		lo := u
+		if v < u {
+			lo = v
+		}
+		return int(lo)*n + bitutil.FloorLog2(int(x)), nil
+	}
+	for ci, c := range d.Cycles {
+		if len(c) != size {
+			return fmt.Errorf("cycle %d has length %d, want %d", ci, len(c), size)
+		}
+		seen := make([]bool, size)
+		for i, u := range c {
+			if u >= hypercube.Node(size) {
+				return fmt.Errorf("cycle %d: node %d out of range", ci, u)
+			}
+			if seen[u] {
+				return fmt.Errorf("cycle %d: node %d repeated", ci, u)
+			}
+			seen[u] = true
+			id, err := undirected(u, c[(i+1)%size])
+			if err != nil {
+				return fmt.Errorf("cycle %d: %w", ci, err)
+			}
+			usage[id]++
+		}
+	}
+	covered := make([]bool, size)
+	for _, e := range d.Matching {
+		id, err := undirected(e[0], e[1])
+		if err != nil {
+			return fmt.Errorf("matching: %w", err)
+		}
+		usage[id]++
+		for _, v := range e {
+			if covered[v] {
+				return fmt.Errorf("matching covers node %d twice", v)
+			}
+			covered[v] = true
+		}
+	}
+	// Every canonical undirected edge id — (u, dim) with bit dim of u
+	// clear — must be used exactly once; non-canonical ids are unused
+	// by construction of undirected().
+	for id, c := range usage {
+		u := hypercube.Node(id / n)
+		dim := id % n
+		want := int8(1)
+		if u&(1<<uint(dim)) != 0 {
+			want = 0
+		}
+		if c != want {
+			return fmt.Errorf("edge (node %d, dim %d) used %d times, want %d", u, dim, c, want)
+		}
+	}
+	return nil
+}
+
+// Directed returns Lemma 1's directed cycles: each undirected cycle in
+// both orientations, giving 2⌊n/2⌋ edge-disjoint directed Hamiltonian
+// cycles. Cycle 2i and 2i+1 are opposite orientations of undirected
+// cycle i, matching the numbering used in Theorem 1's proof.
+func (d *Decomposition) Directed() [][]hypercube.Node {
+	out := make([][]hypercube.Node, 0, 2*len(d.Cycles))
+	for _, c := range d.Cycles {
+		fwd := append([]hypercube.Node(nil), c...)
+		rev := make([]hypercube.Node, len(c))
+		for i, v := range c {
+			rev[len(c)-1-i] = v
+		}
+		out = append(out, fwd, rev)
+	}
+	return out
+}

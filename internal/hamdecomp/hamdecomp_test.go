@@ -1,0 +1,318 @@
+package hamdecomp
+
+import (
+	"testing"
+
+	"multipath/internal/hypercube"
+)
+
+func TestTorusDecomposeSmall(t *testing.T) {
+	for _, L := range []int{4, 8, 12, 16, 20, 64, 100, 256, 1024, 4096} {
+		encode := func(x, y int) uint32 { return uint32(y*L + x) }
+		a, b, err := torusDecompose(L, encode)
+		if err != nil {
+			t.Fatalf("L=%d: %v", L, err)
+		}
+		for name, c := range map[string]*adjCycle{"A": a, "B": b} {
+			if !c.isSingleCycle() {
+				t.Fatalf("L=%d: cycle %s not a single cycle", L, name)
+			}
+			if len(c.sequence()) != 4*L {
+				t.Fatalf("L=%d: cycle %s length %d", L, name, len(c.sequence()))
+			}
+		}
+		// Edge-disjoint and valid torus edges, and together all 8L edges.
+		checkTorusPartition(t, L, a, b)
+	}
+}
+
+func TestTorusDecomposeRejectsBadLength(t *testing.T) {
+	enc := func(x, y int) uint32 { return uint32(y*6 + x) }
+	if _, _, err := torusDecompose(6, enc); err == nil {
+		t.Error("L=6 accepted")
+	}
+	if _, _, err := torusDecompose(0, enc); err == nil {
+		t.Error("L=0 accepted")
+	}
+}
+
+// checkTorusPartition verifies that a and b partition the edges of
+// C_L × C_4 (with the natural encoding y*L+x) and only use torus edges.
+func checkTorusPartition(t *testing.T, L int, a, b *adjCycle) {
+	t.Helper()
+	decode := func(v uint32) (x, y int) { return int(v) % L, int(v) / L }
+	adjacent := func(u, v uint32) bool {
+		ux, uy := decode(u)
+		vx, vy := decode(v)
+		dx := (ux - vx + L) % L
+		dy := (uy - vy + 4) % 4
+		return (dy == 0 && (dx == 1 || dx == L-1)) || (dx == 0 && (dy == 1 || dy == 3))
+	}
+	type edge struct{ u, v uint32 }
+	canon := func(u, v uint32) edge {
+		if u > v {
+			u, v = v, u
+		}
+		return edge{u, v}
+	}
+	seen := make(map[edge]string)
+	for name, c := range map[string]*adjCycle{"A": a, "B": b} {
+		seq := c.sequence()
+		for i, u := range seq {
+			v := seq[(i+1)%len(seq)]
+			if !adjacent(u, v) {
+				t.Fatalf("L=%d cycle %s: non-torus edge (%d,%d)", L, name, u, v)
+			}
+			e := canon(u, v)
+			if prev, dup := seen[e]; dup {
+				t.Fatalf("L=%d: edge %v in both %s and %s", L, e, prev, name)
+			}
+			seen[e] = name
+		}
+	}
+	if len(seen) != 8*L {
+		t.Fatalf("L=%d: %d distinct edges covered, want %d", L, len(seen), 8*L)
+	}
+}
+
+func TestDecomposeEvenDimensions(t *testing.T) {
+	for _, n := range []int{2, 4, 6, 8, 10, 12} {
+		d, err := Decompose(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(d.Cycles) != n/2 || d.Matching != nil {
+			t.Fatalf("n=%d: %d cycles, matching=%v", n, len(d.Cycles), d.Matching != nil)
+		}
+		// Verify() ran inside Decompose; run again to catch divergence.
+		if err := d.Verify(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestDecomposeOddDimensions(t *testing.T) {
+	for _, n := range []int{3, 5, 7, 9, 11} {
+		d, err := Decompose(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(d.Cycles) != (n-1)/2 {
+			t.Fatalf("n=%d: %d cycles", n, len(d.Cycles))
+		}
+		if len(d.Matching) != 1<<uint(n-1) {
+			t.Fatalf("n=%d: matching size %d", n, len(d.Matching))
+		}
+		if err := d.Verify(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestDecomposeRejectsTiny(t *testing.T) {
+	for _, n := range []int{0, 1, -3} {
+		if _, err := Decompose(n); err == nil {
+			t.Errorf("Decompose(%d) accepted", n)
+		}
+	}
+}
+
+func TestDirectedCycles(t *testing.T) {
+	d, err := Decompose(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := d.Directed()
+	if len(dir) != 6 {
+		t.Fatalf("%d directed cycles, want 6", len(dir))
+	}
+	// Pairs 2i, 2i+1 are mutual reversals.
+	for i := 0; i < len(dir); i += 2 {
+		f, r := dir[i], dir[i+1]
+		if len(f) != len(r) {
+			t.Fatal("orientation length mismatch")
+		}
+		for j := range f {
+			if f[j] != r[len(r)-1-j] {
+				t.Fatalf("pair %d not reversed at %d", i/2, j)
+			}
+		}
+	}
+	// Directed edge-disjointness: 6 cycles × 64 edges = 384 = all
+	// directed edges of Q_6.
+	type de struct{ u, v hypercube.Node }
+	seen := make(map[de]bool)
+	for _, c := range dir {
+		for i, u := range c {
+			v := c[(i+1)%len(c)]
+			e := de{u, v}
+			if seen[e] {
+				t.Fatalf("directed edge %v reused", e)
+			}
+			seen[e] = true
+		}
+	}
+	if len(seen) != 6*64 {
+		t.Fatalf("%d directed edges used, want 384", len(seen))
+	}
+}
+
+// Verify must reject corrupted decompositions.
+func TestVerifyDetectsCorruption(t *testing.T) {
+	d, err := Decompose(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap two nodes in one cycle: breaks adjacency.
+	bad := &Decomposition{N: 4, Cycles: [][]hypercube.Node{
+		append([]hypercube.Node(nil), d.Cycles[0]...),
+		append([]hypercube.Node(nil), d.Cycles[1]...),
+	}}
+	bad.Cycles[0][0], bad.Cycles[0][5] = bad.Cycles[0][5], bad.Cycles[0][0]
+	if err := bad.Verify(); err == nil {
+		t.Error("corrupted cycle accepted")
+	}
+	// Duplicate cycle: edge reuse.
+	dup := &Decomposition{N: 4, Cycles: [][]hypercube.Node{d.Cycles[0], d.Cycles[0]}}
+	if err := dup.Verify(); err == nil {
+		t.Error("duplicated cycle accepted")
+	}
+	// Wrong count.
+	short := &Decomposition{N: 4, Cycles: d.Cycles[:1]}
+	if err := short.Verify(); err == nil {
+		t.Error("missing cycle accepted")
+	}
+}
+
+func TestAdjCycleOps(t *testing.T) {
+	a := newAdjCycle(4)
+	a.addEdge(0, 1)
+	a.addEdge(1, 2)
+	a.addEdge(2, 3)
+	a.addEdge(3, 0)
+	if !a.isSingleCycle() {
+		t.Fatal("4-cycle not recognized")
+	}
+	if !a.hasEdge(1, 0) || a.hasEdge(0, 2) {
+		t.Fatal("hasEdge wrong")
+	}
+	a.removeEdge(0, 1)
+	if a.isSingleCycle() {
+		t.Fatal("broken cycle accepted")
+	}
+	a.addEdge(0, 1)
+	seq := a.sequence()
+	if len(seq) != 4 {
+		t.Fatalf("sequence length %d", len(seq))
+	}
+	// fromSequence round trip.
+	b := fromSequence(4, []uint32{0, 1, 2, 3})
+	if !b.isSingleCycle() {
+		t.Fatal("fromSequence broken")
+	}
+}
+
+func TestAdjCyclePanics(t *testing.T) {
+	a := newAdjCycle(3)
+	a.addEdge(0, 1)
+	a.addEdge(1, 2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("third edge at node 1 accepted")
+			}
+		}()
+		a.addEdge(1, 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("removing absent edge accepted")
+			}
+		}()
+		a.removeEdge(0, 2)
+	}()
+}
+
+func BenchmarkDecompose(b *testing.B) {
+	for _, n := range []int{8, 12, 16} {
+		b.Run(hypercubeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Decompose(n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func hypercubeName(n int) string {
+	return "Q" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+}
+
+// White-box: the complement-repair machinery (exercised by L ≡ 0 mod 4
+// with 3 | L/4, where the complement splits into 3 components).
+func TestRepairPathComponents(t *testing.T) {
+	L := 12
+	encode := func(x, y int) uint32 { return uint32(y*L + x) }
+	// Rebuild the raw climber and complement to observe the pre-repair
+	// component structure.
+	a := newAdjCycle(4 * L)
+	b := newAdjCycle(4 * L)
+	for x := 0; x < L; x++ {
+		cx := (3 * x) % 4
+		xm1 := (x + L - 1) % L
+		a.addEdge(encode(xm1, cx), encode(x, cx))
+		for t2 := 0; t2 < 3; t2++ {
+			a.addEdge(encode(x, (cx+t2)%4), encode(x, (cx+t2+1)%4))
+		}
+		b.addEdge(encode(x, (cx+3)%4), encode(x, cx))
+		for y := 0; y < 4; y++ {
+			if y != cx {
+				b.addEdge(encode(xm1, y), encode(x, y))
+			}
+		}
+	}
+	if !a.isSingleCycle() {
+		t.Fatal("climber broken")
+	}
+	comp := componentIDs(b)
+	distinct := map[int]bool{}
+	for _, c := range comp {
+		distinct[c] = true
+	}
+	if len(distinct) != 3 {
+		t.Fatalf("expected 3 complement components at L=12, got %d", len(distinct))
+	}
+	if err := repairComplement(L, encode, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.isSingleCycle() || !b.isSingleCycle() {
+		t.Fatal("repair left a broken cycle")
+	}
+}
+
+// The Directed() orientation pairing is what Theorem 1's label algebra
+// relies on: label ⊕ 1 must select the reversed cycle.
+func TestDirectedPairingConvention(t *testing.T) {
+	d, err := Decompose(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := d.Directed()
+	for i := 0; i < len(dir); i += 2 {
+		fwd := dir[i]
+		rev := dir[i+1]
+		// Successor of node v in fwd must be the predecessor in rev.
+		succF := make(map[uint32]uint32, len(fwd))
+		for j, v := range fwd {
+			succF[v] = fwd[(j+1)%len(fwd)]
+		}
+		for j, v := range rev {
+			next := rev[(j+1)%len(rev)]
+			if succF[next] != v {
+				t.Fatalf("pair %d not mutually reversed at %d", i/2, v)
+			}
+		}
+	}
+}

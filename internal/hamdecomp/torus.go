@@ -1,0 +1,148 @@
+package hamdecomp
+
+import "fmt"
+
+// Kotzig-style decomposition of the torus C_L × C_4 into two
+// Hamiltonian cycles.
+//
+// Coordinates are (x, y) with x ∈ [0, L), y ∈ [0, 4). Cycle A is the
+// "column climber": it enters column x at row c_x = 3x mod 4, climbs
+// the three vertical edges c_x→c_x+1→c_x+2→c_x+3, and crosses into
+// column x+1 at row c_x+3 = c_{x+1}. Since 4 | L the climber closes
+// after visiting every vertex. Cycle B is the complement; for L ≡ 0
+// (mod 4) the complement is itself a single Hamiltonian cycle (checked,
+// with a face-swap repair fallback for safety).
+//
+// encode maps a torus coordinate to a node id in [0, 4L); it lets the
+// same construction serve both plain tori (tests) and the hypercube
+// lift, where x indexes a position along a Hamiltonian cycle of Q_{2k}
+// and y selects one of four Gray-ordered layers.
+
+// torusDecompose returns the two edge-disjoint Hamiltonian cycles of
+// C_L × C_4 as adjacency structures over node ids produced by encode.
+// L must be a positive multiple of 4.
+func torusDecompose(L int, encode func(x, y int) uint32) (a, b *adjCycle, err error) {
+	if L < 4 || L%4 != 0 {
+		return nil, nil, fmt.Errorf("hamdecomp: torus length %d is not a positive multiple of 4", L)
+	}
+	n := 4 * L
+	a = newAdjCycle(n)
+	b = newAdjCycle(n)
+	for x := 0; x < L; x++ {
+		cx := (3 * x) % 4
+		xm1 := (x + L - 1) % L
+		// A: crossing into column x at row c_x, then climb three rows.
+		a.addEdge(encode(xm1, cx), encode(x, cx))
+		for t := 0; t < 3; t++ {
+			a.addEdge(encode(x, (cx+t)%4), encode(x, (cx+t+1)%4))
+		}
+		// B: the complementary edges. Vertical: the one A skipped in
+		// column x. Horizontal: the three rows A does not cross at.
+		b.addEdge(encode(x, (cx+3)%4), encode(x, cx))
+		for y := 0; y < 4; y++ {
+			if y != cx {
+				b.addEdge(encode(xm1, y), encode(x, y))
+			}
+		}
+	}
+	if !a.isSingleCycle() {
+		return nil, nil, fmt.Errorf("hamdecomp: climber cycle not Hamiltonian for L=%d", L)
+	}
+	if !b.isSingleCycle() {
+		if err := repairComplement(L, encode, a, b); err != nil {
+			return nil, nil, err
+		}
+	}
+	return a, b, nil
+}
+
+// repairComplement merges the components of b into a single Hamiltonian
+// cycle by exchanging opposite edge pairs of unit faces with a, keeping
+// a a single cycle throughout. It is a safety net: for the lengths used
+// by the hypercube construction (powers of four) the complement is
+// already a single cycle and this function is not reached.
+func repairComplement(L int, encode func(x, y int) uint32, a, b *adjCycle) error {
+	for pass := 0; pass < 4*L; pass++ {
+		if b.isSingleCycle() {
+			return nil
+		}
+		comp := componentIDs(b)
+		improved := false
+		for x := 0; x < L && !improved; x++ {
+			xp := (x + 1) % L
+			for y := 0; y < 4; y++ {
+				yp := (y + 1) % 4
+				// Unit face with corners p1..p4; opposite horizontal
+				// edges (p1,p2),(p4,p3) and vertical (p1,p4),(p2,p3).
+				p1, p2 := encode(x, y), encode(xp, y)
+				p3, p4 := encode(xp, yp), encode(x, yp)
+				var ae, be [2][2]uint32
+				switch {
+				case a.hasEdge(p1, p2) && a.hasEdge(p4, p3) && b.hasEdge(p1, p4) && b.hasEdge(p2, p3):
+					ae = [2][2]uint32{{p1, p2}, {p4, p3}}
+					be = [2][2]uint32{{p1, p4}, {p2, p3}}
+				case a.hasEdge(p1, p4) && a.hasEdge(p2, p3) && b.hasEdge(p1, p2) && b.hasEdge(p4, p3):
+					ae = [2][2]uint32{{p1, p4}, {p2, p3}}
+					be = [2][2]uint32{{p1, p2}, {p4, p3}}
+				default:
+					continue
+				}
+				// Only useful if the b-edges lie in different
+				// components (the swap then merges them).
+				if comp[be[0][0]] == comp[be[1][0]] {
+					continue
+				}
+				swapPairs(a, b, ae, be)
+				if a.isSingleCycle() {
+					improved = true
+					break
+				}
+				swapPairs(a, b, be, ae) // revert
+			}
+		}
+		if !improved {
+			return fmt.Errorf("hamdecomp: complement repair stuck for L=%d", L)
+		}
+	}
+	return fmt.Errorf("hamdecomp: complement repair did not converge for L=%d", L)
+}
+
+// swapPairs moves edge pair ae from a to b and be from b to a.
+func swapPairs(a, b *adjCycle, ae, be [2][2]uint32) {
+	for _, e := range ae {
+		a.removeEdge(e[0], e[1])
+	}
+	for _, e := range be {
+		b.removeEdge(e[0], e[1])
+	}
+	for _, e := range ae {
+		b.addEdge(e[0], e[1])
+	}
+	for _, e := range be {
+		a.addEdge(e[0], e[1])
+	}
+}
+
+// componentIDs labels each node with the id of its cycle component.
+func componentIDs(a *adjCycle) []int {
+	comp := make([]int, len(a.nbr))
+	for i := range comp {
+		comp[i] = -1
+	}
+	id := 0
+	for v := range comp {
+		if comp[v] != -1 {
+			continue
+		}
+		seq := a.walkFrom(uint32(v))
+		if seq == nil {
+			comp[v] = id
+		} else {
+			for _, u := range seq {
+				comp[u] = id
+			}
+		}
+		id++
+	}
+	return comp
+}

@@ -1,0 +1,92 @@
+package hypercube
+
+import "fmt"
+
+// Partition views Q_n as the product Q_rowBits × Q_colBits (§4.2,
+// Figure 2): the most significant rowBits of an address name a grid
+// row, the least significant colBits name a grid column. Each row is
+// connected as Q_colBits and each column as Q_rowBits.
+//
+// Columns are further split into blocks: the least significant
+// blockBits of the column name identify the block, the remaining
+// (most significant) column bits the position within the block.
+type Partition struct {
+	q         *Q
+	rowBits   int
+	colBits   int
+	blockBits int
+}
+
+// NewPartition builds the partition of q into 2^rowBits rows and
+// 2^colBits columns, with 2^blockBits blocks of columns. blockBits may
+// be 0 when no block structure is needed.
+func NewPartition(q *Q, rowBits, colBits, blockBits int) *Partition {
+	if rowBits < 0 || colBits < 0 || rowBits+colBits != q.Dims() {
+		panic(fmt.Sprintf("hypercube: partition %d+%d != %d", rowBits, colBits, q.Dims()))
+	}
+	if blockBits < 0 || blockBits > colBits {
+		panic(fmt.Sprintf("hypercube: block bits %d outside [0,%d]", blockBits, colBits))
+	}
+	return &Partition{q: q, rowBits: rowBits, colBits: colBits, blockBits: blockBits}
+}
+
+// RowBits returns the number of row-address bits.
+func (p *Partition) RowBits() int { return p.rowBits }
+
+// ColBits returns the number of column-address bits.
+func (p *Partition) ColBits() int { return p.colBits }
+
+// BlockBits returns the number of block-address bits.
+func (p *Partition) BlockBits() int { return p.blockBits }
+
+// Rows returns the number of grid rows.
+func (p *Partition) Rows() int { return 1 << uint(p.rowBits) }
+
+// Cols returns the number of grid columns.
+func (p *Partition) Cols() int { return 1 << uint(p.colBits) }
+
+// Row extracts the row name (most significant rowBits) of v.
+func (p *Partition) Row(v Node) uint32 {
+	return v >> uint(p.colBits)
+}
+
+// Col extracts the column name (least significant colBits) of v.
+func (p *Partition) Col(v Node) uint32 {
+	return v & (1<<uint(p.colBits) - 1)
+}
+
+// Node composes a row and column name back into an address.
+func (p *Partition) Node(row, col uint32) Node {
+	return row<<uint(p.colBits) | col
+}
+
+// Block extracts the block name (least significant blockBits of the
+// column name) of column col.
+func (p *Partition) Block(col uint32) uint32 {
+	return col & (1<<uint(p.blockBits) - 1)
+}
+
+// Position extracts the within-block position (most significant column
+// bits) of column col.
+func (p *Partition) Position(col uint32) uint32 {
+	return col >> uint(p.blockBits)
+}
+
+// ColOf composes a block and position back into a column name.
+func (p *Partition) ColOf(position, block uint32) uint32 {
+	return position<<uint(p.blockBits) | block
+}
+
+// RowDim maps a dimension index d of the row subcube Q_rowBits (the
+// "column direction" edges in the paper's grid picture live here) to
+// the corresponding dimension of Q_n. Row-subcube dimensions are the
+// most significant address bits.
+func (p *Partition) RowDim(d int) int { return p.colBits + d }
+
+// ColDim maps a dimension index d of the column subcube Q_colBits to
+// the corresponding dimension of Q_n (identity, for symmetry).
+func (p *Partition) ColDim(d int) int { return d }
+
+// PositionDim maps a dimension index d of the within-block position
+// subcube Q_{colBits-blockBits} to the corresponding dimension of Q_n.
+func (p *Partition) PositionDim(d int) int { return p.blockBits + d }

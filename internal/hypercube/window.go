@@ -1,0 +1,98 @@
+package hypercube
+
+import (
+	"fmt"
+
+	"multipath/internal/bitutil"
+)
+
+// Windows and signatures (§5.1).
+//
+// A window W ⊆ Z_k is an ordered subset of the dimensions of Q_k. The
+// signature σ_W(v) is the concatenation of v's address bits in the
+// dimensions ordered by W; the first window element contributes the
+// most significant signature bit. (The paper's worked example indexes
+// address characters left-to-right; we index dimensions from the least
+// significant bit, consistently with the rest of this library, which
+// only permutes which concrete bits a window names.)
+
+// Window is an ordered sequence of distinct dimension indices.
+type Window []int
+
+// Validate checks that the window's dimensions are distinct and lie in
+// [0, n).
+func (w Window) Validate(n int) error {
+	seen := make(map[int]bool, len(w))
+	for i, d := range w {
+		if d < 0 || d >= n {
+			return fmt.Errorf("window: dimension %d at position %d outside [0,%d)", d, i, n)
+		}
+		if seen[d] {
+			return fmt.Errorf("window: dimension %d repeated", d)
+		}
+		seen[d] = true
+	}
+	return nil
+}
+
+// Contains reports whether dimension d appears in the window.
+func (w Window) Contains(d int) bool {
+	for _, x := range w {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+// Index returns the position of dimension d in the window, or -1.
+func (w Window) Index(d int) int {
+	for i, x := range w {
+		if x == d {
+			return i
+		}
+	}
+	return -1
+}
+
+// Disjoint reports whether w and v share no dimension.
+func (w Window) Disjoint(v Window) bool {
+	for _, d := range w {
+		if v.Contains(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// Signature returns σ_W(v): bit i (counting from the most significant
+// signature bit) is the address bit of v in dimension w[i].
+func (w Window) Signature(v Node) uint32 {
+	var s uint32
+	for _, d := range w {
+		s = s<<1 | bitutil.Bit(v, d)
+	}
+	return s
+}
+
+// SetSignature returns v with its bits in the window's dimensions
+// overwritten so that σ_W(result) = s.
+func (w Window) SetSignature(v Node, s uint32) Node {
+	k := len(w)
+	for i, d := range w {
+		v = bitutil.SetBit(v, d, (s>>uint(k-1-i))&1)
+	}
+	return v
+}
+
+// Complement returns the dimensions of Q_n not in w, in increasing
+// order.
+func (w Window) Complement(n int) Window {
+	out := make(Window, 0, n-len(w))
+	for d := 0; d < n; d++ {
+		if !w.Contains(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

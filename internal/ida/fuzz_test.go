@@ -1,0 +1,44 @@
+package ida
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzDisperseReconstruct(f *testing.F) {
+	f.Add([]byte("hello"), uint8(5), uint8(3))
+	f.Add([]byte{}, uint8(1), uint8(1))
+	f.Add([]byte{0, 255, 1, 254}, uint8(9), uint8(4))
+	f.Fuzz(func(t *testing.T, data []byte, n8, k8 uint8) {
+		n := int(n8%32) + 1
+		k := int(k8%uint8(n)) + 1
+		if len(data) > 1024 {
+			data = data[:1024]
+		}
+		pieces, err := Disperse(data, n, k)
+		if err != nil {
+			t.Fatalf("disperse n=%d k=%d: %v", n, k, err)
+		}
+		// Reconstruct from the *last* k pieces (never the systematic
+		// prefix).
+		got, err := Reconstruct(pieces[n-k:], k, len(data))
+		if err != nil {
+			t.Fatalf("reconstruct: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round trip failed (n=%d k=%d len=%d)", n, k, len(data))
+		}
+	})
+}
+
+func FuzzGFInverse(f *testing.F) {
+	f.Add(uint8(1))
+	f.Fuzz(func(t *testing.T, a uint8) {
+		if a == 0 {
+			return
+		}
+		if Mul(a, Inv(a)) != 1 {
+			t.Fatalf("inverse broken for %d", a)
+		}
+	})
+}

@@ -1,0 +1,84 @@
+// Package ida implements Rabin's Information Dispersal Algorithm [22]
+// over GF(256): a message is dispersed into n pieces, each 1/k of the
+// original size, such that any k pieces reconstruct it. Greenberg &
+// Bhatt (§1) propose running IDA across the edge-disjoint paths of a
+// multiple-path embedding to tolerate link faults; FaultTolerantSend
+// models exactly that.
+package ida
+
+// GF(256) arithmetic with the AES reduction polynomial x^8+x^4+x^3+x+1.
+
+var (
+	expTable [512]byte
+	logTable [256]byte
+)
+
+func init() {
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		expTable[i] = x
+		logTable[x] = byte(i)
+		// Multiply x by the generator 0x03.
+		x = mulNoTable(x, 3)
+	}
+	for i := 255; i < 512; i++ {
+		expTable[i] = expTable[i-255]
+	}
+}
+
+func mulNoTable(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// Add returns a + b in GF(256) (XOR).
+func Add(a, b byte) byte { return a ^ b }
+
+// Mul returns a · b in GF(256).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Inv returns the multiplicative inverse of a ≠ 0. Inv(0) panics.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("ida: inverse of zero")
+	}
+	return expTable[255-int(logTable[a])]
+}
+
+// Div returns a / b for b ≠ 0.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("ida: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+255-int(logTable[b])]
+}
+
+// Pow returns a^e.
+func Pow(a byte, e int) byte {
+	if e == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[(int(logTable[a])*e)%255]
+}

@@ -1,0 +1,131 @@
+package ida
+
+import "fmt"
+
+// Piece is one dispersed share: index identifies the evaluation point.
+type Piece struct {
+	Index int
+	Data  []byte
+}
+
+// Disperse splits data into n pieces of ⌈len/k⌉ bytes each such that
+// any k pieces reconstruct the original (1 ≤ k ≤ n ≤ 255). Piece i is
+// the evaluation of the k data symbols per column under the Vandermonde
+// row (1, x_i, x_i², ..., x_i^{k-1}) with x_i = i+1.
+func Disperse(data []byte, n, k int) ([]Piece, error) {
+	if k < 1 || n < k || n > 255 {
+		return nil, fmt.Errorf("ida: invalid parameters n=%d k=%d", n, k)
+	}
+	cols := (len(data) + k - 1) / k
+	padded := make([]byte, cols*k)
+	copy(padded, data)
+	pieces := make([]Piece, n)
+	for i := range pieces {
+		x := byte(i + 1)
+		out := make([]byte, cols)
+		for c := 0; c < cols; c++ {
+			var acc byte
+			// Horner evaluation of the column polynomial at x.
+			for j := k - 1; j >= 0; j-- {
+				acc = Add(Mul(acc, x), padded[c*k+j])
+			}
+			out[c] = acc
+		}
+		pieces[i] = Piece{Index: i, Data: out}
+	}
+	return pieces, nil
+}
+
+// Reconstruct recovers the original data (whose exact byte length must
+// be supplied) from any k distinct pieces produced by Disperse with the
+// same (n, k).
+func Reconstruct(pieces []Piece, k, length int) ([]byte, error) {
+	if len(pieces) < k {
+		return nil, fmt.Errorf("ida: %d pieces cannot meet threshold %d", len(pieces), k)
+	}
+	use := pieces[:k]
+	seen := make(map[int]bool, k)
+	cols := len(use[0].Data)
+	for _, p := range use {
+		if seen[p.Index] {
+			return nil, fmt.Errorf("ida: duplicate piece index %d", p.Index)
+		}
+		seen[p.Index] = true
+		if len(p.Data) != cols {
+			return nil, fmt.Errorf("ida: piece %d length %d != %d", p.Index, len(p.Data), cols)
+		}
+	}
+	// Solve the k×k Vandermonde system once (matrix depends only on
+	// the piece indices), then apply to every column.
+	m := make([][]byte, k)
+	for r, p := range use {
+		row := make([]byte, k)
+		x := byte(p.Index + 1)
+		row[0] = 1
+		for j := 1; j < k; j++ {
+			row[j] = Mul(row[j-1], x)
+		}
+		m[r] = row
+	}
+	inv, err := invertMatrix(m)
+	if err != nil {
+		return nil, err
+	}
+	if length > cols*k {
+		return nil, fmt.Errorf("ida: requested length %d exceeds capacity %d", length, cols*k)
+	}
+	out := make([]byte, cols*k)
+	for c := 0; c < cols; c++ {
+		for j := 0; j < k; j++ {
+			var acc byte
+			for r := 0; r < k; r++ {
+				acc = Add(acc, Mul(inv[j][r], use[r].Data[c]))
+			}
+			out[c*k+j] = acc
+		}
+	}
+	return out[:length], nil
+}
+
+// invertMatrix returns the inverse of a k×k matrix over GF(256) via
+// Gauss-Jordan elimination.
+func invertMatrix(m [][]byte) ([][]byte, error) {
+	k := len(m)
+	a := make([][]byte, k)
+	inv := make([][]byte, k)
+	for i := range a {
+		a[i] = append([]byte(nil), m[i]...)
+		inv[i] = make([]byte, k)
+		inv[i][i] = 1
+	}
+	for col := 0; col < k; col++ {
+		pivot := -1
+		for r := col; r < k; r++ {
+			if a[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("ida: singular matrix")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		p := Inv(a[col][col])
+		for j := 0; j < k; j++ {
+			a[col][j] = Mul(a[col][j], p)
+			inv[col][j] = Mul(inv[col][j], p)
+		}
+		for r := 0; r < k; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			for j := 0; j < k; j++ {
+				a[r][j] = Add(a[r][j], Mul(f, a[col][j]))
+				inv[r][j] = Add(inv[r][j], Mul(f, inv[col][j]))
+			}
+		}
+	}
+	return inv, nil
+}

@@ -1,0 +1,302 @@
+package ida
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multipath/internal/cycles"
+)
+
+// Field axioms spot-checked by property tests.
+func TestGFFieldProperties(t *testing.T) {
+	assoc := func(a, b, c byte) bool {
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Error("associativity:", err)
+	}
+	comm := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error("commutativity:", err)
+	}
+	distr := func(a, b, c byte) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(distr, nil); err != nil {
+		t.Error("distributivity:", err)
+	}
+	identity := func(a byte) bool { return Mul(a, 1) == a }
+	if err := quick.Check(identity, nil); err != nil {
+		t.Error("identity:", err)
+	}
+}
+
+func TestGFInverse(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if Mul(byte(a), Inv(byte(a))) != 1 {
+			t.Fatalf("Inv(%d) wrong", a)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestGFDivPow(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Mul(Div(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if Pow(2, 0) != 1 || Pow(0, 3) != 0 {
+		t.Error("Pow edge cases wrong")
+	}
+	if Pow(2, 3) != Mul(2, Mul(2, 2)) {
+		t.Error("Pow(2,3) wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Div by zero did not panic")
+		}
+	}()
+	Div(1, 0)
+}
+
+func TestMulMatchesReference(t *testing.T) {
+	f := func(a, b byte) bool { return Mul(a, b) == mulNoTable(a, b) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisperseReconstructRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct{ n, k, size int }{
+		{5, 3, 100}, {7, 7, 64}, {10, 4, 1}, {3, 1, 17}, {255, 16, 500},
+	} {
+		data := make([]byte, tc.size)
+		rng.Read(data)
+		pieces, err := Disperse(data, tc.n, tc.k)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if len(pieces) != tc.n {
+			t.Fatalf("%+v: %d pieces", tc, len(pieces))
+		}
+		// Any k pieces reconstruct: try a few random subsets.
+		for trial := 0; trial < 5; trial++ {
+			idx := rng.Perm(tc.n)[:tc.k]
+			sub := make([]Piece, tc.k)
+			for i, j := range idx {
+				sub[i] = pieces[j]
+			}
+			got, err := Reconstruct(sub, tc.k, tc.size)
+			if err != nil {
+				t.Fatalf("%+v trial %d: %v", tc, trial, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("%+v trial %d: reconstruction mismatch", tc, trial)
+			}
+		}
+	}
+}
+
+func TestPieceOverhead(t *testing.T) {
+	// Each piece is ⌈size/k⌉ bytes: total transmitted = n/k × size.
+	data := make([]byte, 120)
+	pieces, err := Disperse(data, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pieces {
+		if len(p.Data) != 30 {
+			t.Fatalf("piece size %d, want 30", len(p.Data))
+		}
+	}
+}
+
+func TestReconstructErrors(t *testing.T) {
+	data := []byte("hello world")
+	pieces, err := Disperse(data, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Reconstruct(pieces[:2], 3, len(data)); err == nil {
+		t.Error("below-threshold accepted")
+	}
+	dup := []Piece{pieces[0], pieces[0], pieces[1]}
+	if _, err := Reconstruct(dup, 3, len(data)); err == nil {
+		t.Error("duplicate pieces accepted")
+	}
+	bad := []Piece{pieces[0], pieces[1], {Index: 2, Data: []byte{1}}}
+	if _, err := Reconstruct(bad, 3, len(data)); err == nil {
+		t.Error("ragged pieces accepted")
+	}
+	if _, err := Disperse(data, 0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Disperse(data, 300, 2); err == nil {
+		t.Error("n>255 accepted")
+	}
+}
+
+func TestFaultTolerantSendNoFaults(t *testing.T) {
+	e, err := cycles.Theorem1(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := NewFaultModel(e.Host.DirectedEdges(), 0, 1)
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	rep, got, err := FaultTolerantSend(e, 0, data, 3, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Delivered || !bytes.Equal(got, data) {
+		t.Fatalf("delivery failed: %+v", rep)
+	}
+	if rep.Paths != 5 || rep.Survivors != 5 {
+		t.Errorf("report %+v", rep)
+	}
+}
+
+func TestFaultTolerantSendTargetedFaults(t *testing.T) {
+	// Width 5, threshold 3: killing two paths still delivers; killing
+	// three does not.
+	e, err := cycles.Theorem1(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("multiple paths in hypercubes")
+	kill := func(count int) *SendReport {
+		faults := NewFaultModel(e.Host.DirectedEdges(), 0, 1)
+		for i := 0; i < count; i++ {
+			ids, err := e.Host.PathEdgeIDs(e.Paths[0][i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			faults.FailLink(ids[0])
+		}
+		rep, _, err := FaultTolerantSend(e, 0, data, 3, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	if rep := kill(2); !rep.Delivered || rep.Survivors != 3 {
+		t.Errorf("2 faults: %+v", rep)
+	}
+	if rep := kill(3); rep.Delivered || rep.Survivors != 2 {
+		t.Errorf("3 faults: %+v", rep)
+	}
+}
+
+func TestFaultTolerantSendRandomFaults(t *testing.T) {
+	// With moderate fault probability, measure the delivered fraction
+	// over all cycle edges; edge-disjointness keeps it high.
+	e, err := cycles.Theorem1(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := NewFaultModel(e.Host.DirectedEdges(), 0.02, 7)
+	if faults.FaultyCount() == 0 {
+		t.Skip("fault model produced no faults")
+	}
+	data := []byte("payload")
+	delivered := 0
+	for i := range e.Paths {
+		rep, _, err := FaultTolerantSend(e, i, data, 2, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Delivered {
+			delivered++
+		}
+	}
+	if frac := float64(delivered) / float64(len(e.Paths)); frac < 0.95 {
+		t.Errorf("delivered fraction %f too low", frac)
+	}
+}
+
+func TestFaultTolerantSendBadEdge(t *testing.T) {
+	e, err := cycles.Theorem1(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := NewFaultModel(e.Host.DirectedEdges(), 0, 1)
+	if _, _, err := FaultTolerantSend(e, -1, []byte("x"), 1, faults); err == nil {
+		t.Error("negative edge accepted")
+	}
+}
+
+func BenchmarkDisperse(b *testing.B) {
+	data := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		if _, err := Disperse(data, 8, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	data := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(data)
+	pieces, err := Disperse(data, 8, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reconstruct(pieces[2:7], 5, len(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// A single node fault kills at most one of an edge's disjoint paths
+// (unless the node is an endpoint), so IDA delivery survives it.
+func TestFaultTolerantSendNodeFault(t *testing.T) {
+	e, err := cycles.Theorem1(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("node faults kill all incident links")
+	delivered := 0
+	checked := 0
+	for edge := 0; edge < 64; edge++ {
+		// Fail one intermediate node of the edge's second path.
+		p := e.Paths[edge][1]
+		if len(p) < 3 {
+			continue
+		}
+		faults := NewFaultModel(e.Host.DirectedEdges(), 0, 1)
+		faults.FailNode(e.Host, p[1])
+		rep, got, err := FaultTolerantSend(e, edge, data, 3, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked++
+		if rep.Delivered {
+			delivered++
+			if !bytes.Equal(got, data) {
+				t.Fatal("corrupted payload")
+			}
+		}
+	}
+	// The failed node sits on the detour of at most a couple of the
+	// edge's 5 paths; threshold 3 must almost always survive.
+	if delivered < checked*9/10 {
+		t.Errorf("delivered %d of %d", delivered, checked)
+	}
+}

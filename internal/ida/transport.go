@@ -1,0 +1,106 @@
+package ida
+
+import (
+	"fmt"
+	"math/rand"
+
+	"multipath/internal/core"
+	"multipath/internal/hypercube"
+)
+
+// FaultModel marks directed host links as faulty.
+type FaultModel struct {
+	faulty map[int]bool
+}
+
+// NewFaultModel fails each directed link of the host independently
+// with probability p, reproducibly from the seed.
+func NewFaultModel(numLinks int, p float64, seed int64) *FaultModel {
+	rng := rand.New(rand.NewSource(seed))
+	f := &FaultModel{faulty: make(map[int]bool)}
+	for id := 0; id < numLinks; id++ {
+		if rng.Float64() < p {
+			f.faulty[id] = true
+		}
+	}
+	return f
+}
+
+// FailLink marks one link faulty (for targeted experiments).
+func (f *FaultModel) FailLink(id int) { f.faulty[id] = true }
+
+// FaultyCount returns the number of failed links.
+func (f *FaultModel) FaultyCount() int { return len(f.faulty) }
+
+// PathOK reports whether a host path avoids all faulty links.
+func (f *FaultModel) PathOK(e *core.Embedding, p core.Path) (bool, error) {
+	ids, err := e.Host.PathEdgeIDs(p)
+	if err != nil {
+		return false, err
+	}
+	for _, id := range ids {
+		if f.faulty[id] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// SendReport summarizes a fault-tolerant transfer over one guest edge.
+type SendReport struct {
+	Paths     int // disjoint paths available (n in Disperse)
+	Survivors int // paths that avoided every faulty link
+	Threshold int // k: pieces needed
+	Delivered bool
+}
+
+// FaultTolerantSend disperses data into one piece per path of guest
+// edge edgeIdx, drops the pieces whose path crosses a faulty link, and
+// attempts reconstruction from the survivors. It returns the report
+// and the reconstructed data (nil when delivery fails).
+//
+// This is the paper's §1 suggestion made concrete: because the paths
+// are edge-disjoint, any f link faults kill at most f pieces, so a
+// width-w embedding with threshold k tolerates w-k faults on the paths
+// of any single edge.
+func FaultTolerantSend(e *core.Embedding, edgeIdx int, data []byte, k int, faults *FaultModel) (*SendReport, []byte, error) {
+	if edgeIdx < 0 || edgeIdx >= len(e.Paths) {
+		return nil, nil, fmt.Errorf("ida: edge index %d out of range", edgeIdx)
+	}
+	paths := e.Paths[edgeIdx]
+	n := len(paths)
+	pieces, err := Disperse(data, n, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	var survivors []Piece
+	for i, p := range paths {
+		ok, err := faults.PathOK(e, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			survivors = append(survivors, pieces[i])
+		}
+	}
+	rep := &SendReport{Paths: n, Survivors: len(survivors), Threshold: k}
+	if len(survivors) < k {
+		return rep, nil, nil
+	}
+	out, err := Reconstruct(survivors[:k], k, len(data))
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Delivered = true
+	return rep, out, nil
+}
+
+// FailNode marks every directed link incident to node v as faulty — a
+// node fault under the link-fault model. q's edge indexing must match
+// the embeddings the model is used with.
+func (f *FaultModel) FailNode(q *hypercube.Q, v hypercube.Node) {
+	for d := 0; d < q.Dims(); d++ {
+		f.faulty[q.EdgeID(v, d)] = true
+		f.faulty[q.EdgeID(q.Neighbor(v, d), d)] = true
+	}
+}

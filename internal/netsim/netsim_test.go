@@ -1,0 +1,353 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"multipath/internal/ccc"
+	"multipath/internal/cycles"
+	"multipath/internal/hypercube"
+	"multipath/internal/xproduct"
+)
+
+func TestSimulateSingleMessage(t *testing.T) {
+	// One message, 3 hops, 5 flits: cut-through pipelines (3 + 5 - 1
+	// = 7 steps), store-and-forward serializes (3 · 5 = 15).
+	msg := func() []*Message {
+		return []*Message{{Route: []int{10, 20, 30}, Flits: 5}}
+	}
+	ct, err := Simulate(msg(), CutThrough)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Steps != 7 {
+		t.Errorf("cut-through steps %d, want 7", ct.Steps)
+	}
+	sf, err := Simulate(msg(), StoreAndForward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Steps != 15 {
+		t.Errorf("store-and-forward steps %d, want 15", sf.Steps)
+	}
+	if ct.FlitsMoved != 15 || sf.FlitsMoved != 15 {
+		t.Errorf("flits moved %d/%d, want 15", ct.FlitsMoved, sf.FlitsMoved)
+	}
+	if ct.DeliveredMsgs != 1 {
+		t.Errorf("delivered %d", ct.DeliveredMsgs)
+	}
+}
+
+func TestSimulateContention(t *testing.T) {
+	// Two messages sharing one link: serialized, 2 flits each → 4 steps.
+	msgs := []*Message{
+		{Route: []int{1}, Flits: 2},
+		{Route: []int{1}, Flits: 2},
+	}
+	r, err := Simulate(msgs, CutThrough)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Steps != 4 {
+		t.Errorf("steps %d, want 4", r.Steps)
+	}
+	if r.MaxLinkQueue != 2 {
+		t.Errorf("max queue %d", r.MaxLinkQueue)
+	}
+}
+
+func TestSimulateEmptyRouteAndErrors(t *testing.T) {
+	r, err := Simulate([]*Message{{Route: nil, Flits: 3}}, CutThrough)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Steps != 0 || r.DeliveredMsgs != 1 {
+		t.Errorf("empty route: %+v", r)
+	}
+	if _, err := Simulate([]*Message{{Route: []int{1}, Flits: 0}}, CutThrough); err == nil {
+		t.Error("zero flits accepted")
+	}
+}
+
+func TestECubeRoute(t *testing.T) {
+	q := hypercube.New(4)
+	r := ECubeRoute(q, 0b0000, 0b1010)
+	if len(r) != 2 {
+		t.Fatalf("route %v", r)
+	}
+	if r[0] != q.EdgeID(0b0000, 1) || r[1] != q.EdgeID(0b0010, 3) {
+		t.Errorf("route %v", r)
+	}
+	if len(ECubeRoute(q, 5, 5)) != 0 {
+		t.Error("self route not empty")
+	}
+}
+
+func TestPermutationMessages(t *testing.T) {
+	q := hypercube.New(3)
+	rng := rand.New(rand.NewSource(1))
+	perm := RandomPermutation(rng, 8)
+	msgs := PermutationMessages(q, perm, 4)
+	if len(msgs) != 8 {
+		t.Fatalf("%d messages", len(msgs))
+	}
+	r, err := Simulate(msgs, CutThrough)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DeliveredMsgs != 8 {
+		t.Errorf("delivered %d", r.DeliveredMsgs)
+	}
+}
+
+func TestCCCGreedyRoute(t *testing.T) {
+	n := 4
+	c := ccc.NewCCC(n)
+	g := c.Graph()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		from := int32(rng.Intn(c.Nodes()))
+		to := int32(rng.Intn(c.Nodes()))
+		p := CCCGreedyRoute(n, from, to)
+		if p[0] != from || p[len(p)-1] != to {
+			t.Fatalf("endpoints wrong: %v", p)
+		}
+		for i := 0; i+1 < len(p); i++ {
+			if !g.HasEdge(p[i], p[i+1]) {
+				t.Fatalf("step (%d,%d) not a CCC edge", p[i], p[i+1])
+			}
+		}
+		if len(p) > 3*n+1 {
+			t.Fatalf("route too long: %d", len(p))
+		}
+	}
+}
+
+// §7's headline comparison: with M-flit messages on a random
+// permutation, store-and-forward e-cube routing costs Θ(n·M) while the
+// split transfer over the CCC copies pipelines in O(M + n).
+func TestSection7Speedup(t *testing.T) {
+	const n = 4 // CCC levels; host Q_6
+	mc, err := ccc.Theorem3(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mc.Host
+	rng := rand.New(rand.NewSource(42))
+	perm := RandomPermutation(rng, q.Nodes())
+	const M = 64
+
+	sfMsgs := PermutationMessages(q, perm, M)
+	sf, err := Simulate(sfMsgs, StoreAndForward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccMsgs, err := MultiCopyCCCMessages(mc, n, perm, M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := Simulate(ccMsgs, CutThrough)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Store-and-forward pays ≥ distance·M for some message; the CCC
+	// pipeline should beat it clearly.
+	if sf.Steps <= cc.Steps {
+		t.Errorf("no speedup: store-and-forward %d vs CCC pipeline %d", sf.Steps, cc.Steps)
+	}
+	if cc.Steps > 8*(M/n)+20*n {
+		t.Errorf("CCC pipeline %d steps not O(M+n)-like", cc.Steps)
+	}
+	if sf.Steps < 2*M {
+		t.Errorf("store-and-forward %d suspiciously fast", sf.Steps)
+	}
+}
+
+// §2 via the simulator: Theorem 1's width-w embedding moves m packets
+// per cycle edge in Θ(m/w) pipelined steps, the Gray code in m.
+func TestSection2ThroughSimulator(t *testing.T) {
+	const n, m = 8, 64
+	gray, err := cycles.GrayCode(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, err := WidthPathMessages(gray, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := Simulate(gm, CutThrough)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := cycles.Theorem1(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := WidthPathMessages(multi, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := Simulate(mm, CutThrough)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Steps != m {
+		t.Errorf("gray steps %d, want %d", gr.Steps, m)
+	}
+	// Steady-state rate: every physical link serves first/middle/last
+	// duty for three different paths, so throughput is w/3 packets per
+	// step — 3m/w ≈ 38 steps at w = 5, vs m = 64 for the Gray code.
+	w := cycles.RowSubcubeDim(n) + 1
+	if mr.Steps > 3*m/w+6 {
+		t.Errorf("multi-path %d steps exceeds 3m/w bound %d", mr.Steps, 3*m/w+6)
+	}
+	if mr.Steps >= gr.Steps {
+		t.Errorf("multi-path %d not faster than gray %d", mr.Steps, gr.Steps)
+	}
+}
+
+func BenchmarkSimulatePermutation(b *testing.B) {
+	q := hypercube.New(8)
+	rng := rand.New(rand.NewSource(3))
+	perm := RandomPermutation(rng, q.Nodes())
+	for i := 0; i < b.N; i++ {
+		msgs := PermutationMessages(q, perm, 16)
+		if _, err := Simulate(msgs, CutThrough); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// §7's "better alternative": two-phase routing on X(Butterfly) keeps
+// every route O(n) and pipelines long messages.
+func TestTwoPhaseXRouting(t *testing.T) {
+	r, err := xproduct.NewTwoPhaseRouter(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	perm := RandomPermutation(rng, r.Nodes())
+	routes, err := r.PermutationRoutes(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two-phase routes are longer (≤ 16 links at m = 2) but pipeline:
+	// completion ~M + route length, vs distance·M for store-and-forward.
+	const M = 128
+	var msgs []*Message
+	for _, route := range routes {
+		if len(route) == 0 {
+			continue
+		}
+		msgs = append(msgs, &Message{Route: route, Flits: M})
+	}
+	res, err := Simulate(msgs, CutThrough)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredMsgs != len(msgs) {
+		t.Fatalf("delivered %d of %d", res.DeliveredMsgs, len(msgs))
+	}
+	// §7's point: on the same routes, pipelined (cut-through/wormhole)
+	// switching completes in ~congestion·M while store-and-forward pays
+	// ~route-length·M — re-buffering the whole message at every hop.
+	sfMsgs := make([]*Message, len(msgs))
+	for i, m := range msgs {
+		sfMsgs[i] = &Message{Route: m.Route, Flits: m.Flits}
+	}
+	sf, err := Simulate(sfMsgs, StoreAndForward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(sf.Steps) < 1.8*float64(res.Steps) {
+		t.Errorf("two-phase pipelined %d not ~2x faster than buffered %d", res.Steps, sf.Steps)
+	}
+}
+
+// DESIGN.md's invariant: the static schedule checker and the dynamic
+// simulator must agree. Theorem 1's synchronized cost is 3; sending one
+// flit down every path delivers in exactly 3 simulated steps.
+func TestStaticDynamicAgreement(t *testing.T) {
+	for _, n := range []int{6, 8, 10} {
+		e, err := cycles.Theorem1(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		static, err := e.SynchronizedCost()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		var msgs []*Message
+		for _, ps := range e.Paths {
+			for _, p := range ps {
+				ids, err := e.Host.PathEdgeIDs(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				msgs = append(msgs, &Message{Route: ids, Flits: 1})
+			}
+		}
+		dyn, err := Simulate(msgs, CutThrough)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dyn.Steps != static {
+			t.Errorf("n=%d: dynamic %d vs static %d", n, dyn.Steps, static)
+		}
+		if dyn.DeliveredMsgs != len(msgs) {
+			t.Errorf("n=%d: delivered %d of %d", n, dyn.DeliveredMsgs, len(msgs))
+		}
+	}
+}
+
+// Property: flit conservation and mode ordering — for random message
+// sets, both modes move exactly flits×hops flits and store-and-forward
+// never beats cut-through.
+func TestModeOrderingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		count := 1 + rng.Intn(12)
+		mk := func() []*Message {
+			r := rand.New(rand.NewSource(int64(trial)))
+			msgs := make([]*Message, count)
+			for i := range msgs {
+				hops := 1 + r.Intn(5)
+				route := make([]int, hops)
+				for h := range route {
+					route[h] = r.Intn(20)
+				}
+				route = dedupAdjacent(route)
+				msgs[i] = &Message{Route: route, Flits: 1 + r.Intn(6)}
+			}
+			return msgs
+		}
+		ct, err := Simulate(mk(), CutThrough)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sf, err := Simulate(mk(), StoreAndForward)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if ct.FlitsMoved != sf.FlitsMoved {
+			t.Fatalf("trial %d: flit counts differ: %d vs %d", trial, ct.FlitsMoved, sf.FlitsMoved)
+		}
+		if ct.Steps > sf.Steps {
+			t.Fatalf("trial %d: cut-through %d slower than store-and-forward %d", trial, ct.Steps, sf.Steps)
+		}
+	}
+}
+
+// dedupAdjacent removes immediate repeats so routes never cross the
+// same link twice in a row (which would stall forever in any mode).
+func dedupAdjacent(route []int) []int {
+	out := route[:0]
+	prev := -1
+	for _, l := range route {
+		if l != prev {
+			out = append(out, l)
+			prev = l
+		}
+	}
+	return out
+}

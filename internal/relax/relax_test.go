@@ -1,0 +1,111 @@
+package relax
+
+import (
+	"testing"
+)
+
+func hotEdge(i, j int) float64 {
+	if i == 0 {
+		return 100.0
+	}
+	return 0.0
+}
+
+func TestSerialJacobiSmoothing(t *testing.T) {
+	p := NewProblem(8, hotEdge).SerialJacobi(10)
+	// Heat diffuses from the hot edge: first interior row warmer than
+	// the last.
+	if !(p.At(1, 4) > p.At(8, 4)) {
+		t.Errorf("no gradient: %f vs %f", p.At(1, 4), p.At(8, 4))
+	}
+	if p.At(0, 4) != 100 {
+		t.Error("boundary mutated")
+	}
+	if p.MaxAbs() != 100 {
+		t.Errorf("max %f", p.MaxAbs())
+	}
+}
+
+func TestBlockedMatchesSerialBitwise(t *testing.T) {
+	for _, tc := range []struct{ m, n, iters int }{
+		{16, 2, 5}, {16, 4, 7}, {16, 8, 3}, {12, 3, 4}, {16, 1, 2}, {16, 16, 2},
+	} {
+		serial := NewProblem(tc.m, hotEdge).SerialJacobi(tc.iters)
+		blocked, stats, err := NewProblem(tc.m, hotEdge).BlockedJacobi(tc.n, tc.iters)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if !blocked.Equal(serial) {
+			t.Fatalf("%+v: blocked result differs from serial", tc)
+		}
+		if stats.Iterations != tc.iters || stats.PhasesPerIter != 4 {
+			t.Errorf("%+v: stats %+v", tc, stats)
+		}
+		// Halo traffic: 4 values per interior block boundary per
+		// block-side cell per iteration: 2 axes × 2 dirs × (n-1)·n
+		// boundaries × b values.
+		b := tc.m / tc.n
+		want := int64(tc.iters) * int64(4*(tc.n-1)*tc.n*b) / 2 * 2
+		if tc.n > 1 && stats.HaloValues != want {
+			t.Errorf("%+v: halo values %d, want %d", tc, stats.HaloValues, want)
+		}
+		if tc.n == 1 && stats.HaloValues != 0 {
+			t.Errorf("single block exchanged %d values", stats.HaloValues)
+		}
+	}
+}
+
+func TestBlockedRejectsBadN(t *testing.T) {
+	p := NewProblem(10, hotEdge)
+	if _, _, err := p.BlockedJacobi(3, 1); err == nil {
+		t.Error("non-divisor accepted")
+	}
+	if _, _, err := p.BlockedJacobi(0, 1); err == nil {
+		t.Error("zero blocks accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := NewProblem(4, hotEdge)
+	q := p.Clone()
+	q.SerialJacobi(3)
+	if p.Equal(q) {
+		t.Error("clone shares state")
+	}
+}
+
+func TestNewProblemPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("M=0 accepted")
+		}
+	}()
+	NewProblem(0, hotEdge)
+}
+
+// The §8.3 claim made concrete: the communication volume of the
+// blocked run is Θ(M·N) per sweep, against Θ(M²) for the point-wise
+// mapping.
+func TestTrafficScaling(t *testing.T) {
+	_, s16, err := NewProblem(64, hotEdge).BlockedJacobi(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s4, err := NewProblem(64, hotEdge).BlockedJacobi(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More blocks → proportionally more halo traffic (≈ 4·M·(N-1)).
+	r := float64(s16.HaloValues) / float64(s4.HaloValues)
+	if r < 4.0 || r > 6.0 {
+		t.Errorf("traffic ratio %f, want ≈ 5 (15/3)", r)
+	}
+}
+
+func BenchmarkBlockedJacobi(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := NewProblem(64, hotEdge).BlockedJacobi(8, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package xproduct
+
+import (
+	"fmt"
+
+	"multipath/internal/ccc"
+	"multipath/internal/core"
+)
+
+// §7's "better alternative": route messages on the width-n embedding of
+// X(Butterfly) directly. Each route has two phases — along the source
+// row's butterfly to the destination column, then along that column's
+// butterfly to the destination row — so every route has O(n) length and
+// the embedding's congestion bound keeps delays O(n).
+
+// TwoPhaseRouter builds host-link routes over X(Butterfly_m).
+type TwoPhaseRouter struct {
+	m      int
+	n      int
+	ip     *InducedProduct
+	copies []*core.Embedding
+	host   *core.Embedding // the Theorem 4 embedding (for its host)
+	bf     *ccc.Butterfly
+	// edge index: abstract butterfly edge (u,v) → guest edge position.
+	edgeIdx map[[2]int32]int
+	inv     [][]int32 // per label: host Q_n node → butterfly vertex
+	phi     [][]int32 // per label: butterfly vertex → host Q_n node
+}
+
+// NewTwoPhaseRouter prepares routing over X(Butterfly_m), m ∈ {2, 4}.
+func NewTwoPhaseRouter(m int) (*TwoPhaseRouter, error) {
+	copies, err := ButterflyCopies(m)
+	if err != nil {
+		return nil, err
+	}
+	ip, xe, err := Theorem4(copies)
+	if err != nil {
+		return nil, err
+	}
+	n := ip.N
+	size := 1 << uint(n)
+	bf := ccc.NewButterfly(m)
+	r := &TwoPhaseRouter{
+		m: m, n: n, ip: ip, copies: copies, host: xe, bf: bf,
+		edgeIdx: make(map[[2]int32]int, ip.Guest.M()),
+		inv:     make([][]int32, len(copies)),
+		phi:     make([][]int32, len(copies)),
+	}
+	for i, e := range ip.Guest.Edges() {
+		r.edgeIdx[[2]int32{e.U, e.V}] = i
+	}
+	for k, c := range copies {
+		r.phi[k] = make([]int32, size)
+		r.inv[k] = make([]int32, size)
+		for v, h := range c.VertexMap {
+			r.phi[k][v] = int32(h)
+			r.inv[k][h] = int32(v)
+		}
+	}
+	return r, nil
+}
+
+// Host returns the Theorem 4 embedding the router runs over.
+func (r *TwoPhaseRouter) Host() *core.Embedding { return r.host }
+
+// Nodes returns the number of X vertices (= host nodes of Q_{2n}).
+func (r *TwoPhaseRouter) Nodes() int { return r.ip.Graph.N() }
+
+// butterflyGreedy returns the abstract-butterfly vertex path from a to
+// b: ascend levels, crossing wherever the column bit differs.
+func (r *TwoPhaseRouter) butterflyGreedy(a, b int32) ([]int32, error) {
+	cur := a
+	path := []int32{cur}
+	for guard := 0; cur != b; guard++ {
+		if guard > 3*r.m+3 {
+			return nil, fmt.Errorf("xproduct: butterfly route %d→%d diverged", a, b)
+		}
+		l, c := r.bf.Level(cur), r.bf.Col(cur)
+		tc := r.bf.Col(b)
+		next := c
+		if (c^tc)&(1<<uint(l)) != 0 {
+			next = c ^ 1<<uint(l)
+		}
+		cur = r.bf.ID((l+1)%r.m, next)
+		path = append(path, cur)
+	}
+	return path, nil
+}
+
+// segmentLinks appends the host links of one X edge (u → v), routed by
+// the owning copy's path, displaced into the given row or column.
+func (r *TwoPhaseRouter) segmentLinks(links []int, label int, bu, bv int32, isRow bool, fixed int32) ([]int, error) {
+	gi, ok := r.edgeIdx[[2]int32{bu, bv}]
+	if !ok {
+		return nil, fmt.Errorf("xproduct: (%d,%d) is not a butterfly edge", bu, bv)
+	}
+	size := uint32(1) << uint(r.n)
+	route := r.copies[label].Paths[gi][0]
+	q := r.host.Host
+	for t := 0; t+1 < len(route); t++ {
+		var hu, hv uint32
+		if isRow {
+			hu = uint32(fixed)*size + route[t]
+			hv = uint32(fixed)*size + route[t+1]
+		} else {
+			hu = route[t]*size + uint32(fixed)
+			hv = route[t+1]*size + uint32(fixed)
+		}
+		id, err := q.EdgeBetween(hu, hv)
+		if err != nil {
+			return nil, err
+		}
+		links = append(links, id)
+	}
+	return links, nil
+}
+
+// Route returns the host-link route from X vertex src to dst: phase 1
+// along row(src)'s butterfly to column(dst), phase 2 along
+// column(dst)'s butterfly to row(dst).
+func (r *TwoPhaseRouter) Route(src, dst int32) ([]int, error) {
+	size := int32(1) << uint(r.n)
+	i1, j1 := src/size, src%size
+	i2, j2 := dst/size, dst%size
+	var links []int
+	if j1 != j2 {
+		label := r.ip.Labels[i1]
+		bp, err := r.butterflyGreedy(r.inv[label][j1], r.inv[label][j2])
+		if err != nil {
+			return nil, err
+		}
+		for t := 0; t+1 < len(bp); t++ {
+			links, err = r.segmentLinks(links, label, bp[t], bp[t+1], true, i1)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if i1 != i2 {
+		label := r.ip.Labels[j2]
+		bp, err := r.butterflyGreedy(r.inv[label][i1], r.inv[label][i2])
+		if err != nil {
+			return nil, err
+		}
+		for t := 0; t+1 < len(bp); t++ {
+			links, err = r.segmentLinks(links, label, bp[t], bp[t+1], false, j2)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return links, nil
+}
+
+// PermutationRoutes builds one route per X vertex for a permutation.
+func (r *TwoPhaseRouter) PermutationRoutes(perm []int) ([][]int, error) {
+	if len(perm) != r.Nodes() {
+		return nil, fmt.Errorf("xproduct: permutation over %d vertices, want %d", len(perm), r.Nodes())
+	}
+	out := make([][]int, len(perm))
+	for s, d := range perm {
+		route, err := r.Route(int32(s), int32(d))
+		if err != nil {
+			return nil, err
+		}
+		out[s] = route
+	}
+	return out, nil
+}

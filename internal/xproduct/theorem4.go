@@ -1,0 +1,183 @@
+// Package xproduct implements the general technique of Greenberg &
+// Bhatt §6: converting an n-copy embedding of a graph G in Q_n into a
+// width-n multiple-path embedding of the induced cross product X(G) in
+// Q_{2n} (Theorem 4), and its applications to complete binary trees
+// (Theorem 5) and arbitrary binary trees (§6.2).
+package xproduct
+
+import (
+	"fmt"
+
+	"multipath/internal/bitutil"
+	"multipath/internal/core"
+	"multipath/internal/graph"
+	"multipath/internal/hypercube"
+)
+
+// InducedProduct holds X(G) together with the data needed to interpret
+// its vertices: ⟨i, j⟩ has id i·2^n + j; row i and column j both carry
+// the automorph of G selected by the moment of their index.
+type InducedProduct struct {
+	N      int // factor dimension: X(G) lives in Q_{2N}
+	Guest  *graph.Graph
+	Graph  *graph.Graph // X(G) itself
+	Labels []int        // Labels[i] = M(i) mod #copies
+}
+
+// Theorem4 converts a multiple-copy embedding of G into Q_n (presented
+// as copies, one embedding per moment label; len(copies) must be
+// 2^⌈log n⌉, repeating copies to pad when the host provides fewer) into
+// a width-n embedding of X(G) into Q_{2n}.
+//
+// Each copy must be a one-to-one embedding of the same guest onto all
+// of Q_n (2^n = |V(G)|). Every edge of X(G) receives n edge-disjoint
+// paths: path k crosses into the neighboring row (column) across
+// dimension n+k (k), replays the copy's own route for the guest edge
+// there, and crosses back. If the multiple-copy embedding has cost c
+// and G has maximum out-degree δ, the paths admit a (c+2δ)-step
+// schedule, which VerifyBandedCost checks.
+func Theorem4(copies []*core.Embedding) (*InducedProduct, *core.Embedding, error) {
+	if len(copies) == 0 {
+		return nil, nil, fmt.Errorf("xproduct: no copies")
+	}
+	guest := copies[0].Guest
+	n := copies[0].Host.Dims()
+	if guest.N() != 1<<uint(n) {
+		return nil, nil, fmt.Errorf("xproduct: guest has %d vertices, host Q_%d needs 2^%d", guest.N(), n, n)
+	}
+	labelCount := 1 << uint(bitutil.CeilLog2(n))
+	if len(copies) != labelCount {
+		return nil, nil, fmt.Errorf("xproduct: need %d copies (2^⌈log n⌉), got %d (pad by repeating)", labelCount, len(copies))
+	}
+	for k, c := range copies {
+		if c.Host.Dims() != n {
+			return nil, nil, fmt.Errorf("xproduct: copy %d host mismatch", k)
+		}
+		if !c.OneToOne() {
+			return nil, nil, fmt.Errorf("xproduct: copy %d is not one-to-one", k)
+		}
+	}
+
+	size := 1 << uint(n)
+	labels := make([]int, size)
+	rows := make([]*graph.Graph, size)
+	phis := make([][]int32, labelCount)
+	for k := range phis {
+		phi := make([]int32, size)
+		for v, h := range copies[k].VertexMap {
+			phi[v] = int32(h)
+		}
+		phis[k] = phi
+	}
+	autos := make([]*graph.Graph, labelCount)
+	for k := range autos {
+		autos[k] = guest.Apply(phis[k])
+	}
+	for i := range rows {
+		labels[i] = int(bitutil.Moment(uint32(i))) % labelCount
+		rows[i] = autos[labels[i]]
+	}
+	xg := graph.GeneralizedProduct(rows, rows)
+
+	q := hypercube.New(2 * n)
+	e := &core.Embedding{
+		Host:      q,
+		Guest:     xg,
+		VertexMap: make([]hypercube.Node, xg.N()),
+		Paths:     make([][]core.Path, xg.M()),
+	}
+	for v := range e.VertexMap {
+		e.VertexMap[v] = hypercube.Node(v) // ⟨i,j⟩ = i·2^n + j is its own address
+	}
+
+	// Row and column subgraphs list their edges in the same order as
+	// guest.Edges() (Apply preserves order), and GeneralizedProduct
+	// appends all row edges (grouped by row) then all column edges
+	// (grouped by column). Recover (which, index, guest edge) from the
+	// X(G) edge position.
+	mEdges := guest.M()
+	low := uint(n)
+	for idx, xe := range xg.Edges() {
+		var isRow bool
+		var block, gi int
+		if idx < size*mEdges {
+			isRow = true
+			block, gi = idx/mEdges, idx%mEdges
+		} else {
+			block, gi = (idx-size*mEdges)/mEdges, (idx-size*mEdges)%mEdges
+		}
+		label := labels[block]
+		route := copies[label].Paths[gi][0]
+		paths := make([]core.Path, n)
+		u := hypercube.Node(xe.U)
+		v := hypercube.Node(xe.V)
+		for k := 0; k < n; k++ {
+			var detour int
+			if isRow {
+				detour = n + k // cross into a neighboring row
+			} else {
+				detour = k // cross into a neighboring column
+			}
+			p := make(core.Path, 0, len(route)+2)
+			p = append(p, u)
+			mid := u ^ 1<<uint(detour)
+			// Replay the copy's route in the displaced row/column.
+			for _, step := range route {
+				var node hypercube.Node
+				if isRow {
+					node = mid&^(hypercube.Node(size-1)) | step
+				} else {
+					node = mid&(hypercube.Node(size-1)) | step<<low
+				}
+				p = append(p, node)
+			}
+			p = append(p, v)
+			paths[k] = p
+		}
+		e.Paths[idx] = paths
+	}
+	ip := &InducedProduct{N: n, Guest: guest, Graph: xg, Labels: labels}
+	return ip, e, nil
+}
+
+// BandedCongestion returns the three quantities Theorem 4's cost
+// argument bounds: the maximum directed-link congestion among first
+// hops, middle segments, and last hops of all paths. A banded schedule
+// (firsts in the first δ steps, middles next, lasts last) completes in
+// first + middle·(middle band) ... precisely, the schedule length is
+// bounded by firstCong + middleCong·(dilation of the copies) + lastCong
+// steps; for dilation-1 copies this is c + 2δ.
+func BandedCongestion(e *core.Embedding) (first, middle, last int, err error) {
+	nEdges := e.Host.DirectedEdges()
+	fc := make([]int, nEdges)
+	mc := make([]int, nEdges)
+	lc := make([]int, nEdges)
+	for _, ps := range e.Paths {
+		for _, p := range ps {
+			ids, err := e.Host.PathEdgeIDs(p)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			for t, id := range ids {
+				switch {
+				case t == 0:
+					fc[id]++
+				case t == len(ids)-1:
+					lc[id]++
+				default:
+					mc[id]++
+				}
+			}
+		}
+	}
+	maxOf := func(s []int) int {
+		m := 0
+		for _, v := range s {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	return maxOf(fc), maxOf(mc), maxOf(lc), nil
+}

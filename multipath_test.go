@@ -1,0 +1,202 @@
+package multipath
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Integration tests through the public API: each test exercises a
+// complete user journey rather than re-testing internals.
+
+func TestQuickstartJourney(t *testing.T) {
+	// Build the Theorem 1 embedding, verify its headline numbers, and
+	// measure the speedup against the Gray-code baseline.
+	const n = 8
+	multi, err := CycleWidthEmbedding(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gray, err := GrayCodeCycle(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := multi.Width()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != CycleWidth(n)+1 {
+		t.Errorf("width %d", w)
+	}
+	if c, err := multi.SynchronizedCost(); err != nil || c != 3 {
+		t.Fatalf("cost %d err %v", c, err)
+	}
+	const m = 30
+	cg, err := gray.PPacketCost(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := multi.PPacketCost(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm >= cg {
+		t.Errorf("no speedup: %d vs %d", cm, cg)
+	}
+}
+
+func TestFaultToleranceJourney(t *testing.T) {
+	e, err := CycleWidthEmbedding(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("routing multiple paths in hypercubes")
+	faults := NewFaultModel(e.Host.DirectedEdges(), 0.01, 99)
+	delivered := 0
+	for edge := 0; edge < 32; edge++ {
+		rep, got, err := FaultTolerantSend(e, edge, data, 3, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Delivered {
+			delivered++
+			if !bytes.Equal(got, data) {
+				t.Fatal("corrupted reconstruction")
+			}
+		}
+	}
+	if delivered < 28 {
+		t.Errorf("only %d/32 delivered", delivered)
+	}
+}
+
+func TestSimulationJourney(t *testing.T) {
+	msgs := []*Message{
+		{Route: []int{1, 2, 3}, Flits: 8},
+		{Route: []int{3, 4}, Flits: 8},
+	}
+	ct, err := Simulate(msgs, CutThrough)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := Simulate([]*Message{
+		{Route: []int{1, 2, 3}, Flits: 8},
+		{Route: []int{3, 4}, Flits: 8},
+	}, StoreAndForward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Steps >= sf.Steps {
+		t.Errorf("cut-through %d not faster than store-and-forward %d", ct.Steps, sf.Steps)
+	}
+}
+
+func TestDecompositionJourney(t *testing.T) {
+	d, err := HamiltonianDecomposition(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cycles) != 5 {
+		t.Fatalf("%d cycles", len(d.Cycles))
+	}
+	if err := d.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiCopyJourney(t *testing.T) {
+	smart, err := CCCMultiCopy(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := CCCMultiCopyNaive(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := smart.EdgeCongestion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, err := naive.EdgeCongestion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc > 2 || nc <= sc {
+		t.Errorf("congestion smart=%d naive=%d", sc, nc)
+	}
+}
+
+func TestTreeJourney(t *testing.T) {
+	cbt, err := CompleteBinaryTree(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, err := cbt.Width(); err != nil || w != 3 {
+		t.Fatalf("width %d err %v", w, err)
+	}
+	tree := RandomBinaryTree(14, 5)
+	e, err := ArbitraryBinaryTree(2, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridJourney(t *testing.T) {
+	g, err := GridEmbedding([]int{12, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, err := g.PhaseCost(0, true); err != nil || c != 3 {
+		t.Fatalf("phase cost %d err %v", c, err)
+	}
+	costs, err := CompareRelaxationMappings(512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) != 3 {
+		t.Fatalf("%d strategies", len(costs))
+	}
+}
+
+func TestLargeCopyJourney(t *testing.T) {
+	for name, build := range map[string]func() (*Embedding, error){
+		"cycle":     func() (*Embedding, error) { return LargeCopyCycle(6) },
+		"ccc":       func() (*Embedding, error) { return LargeCopyCCC(6) },
+		"butterfly": func() (*Embedding, error) { return LargeCopyButterfly(6) },
+		"fft":       func() (*Embedding, error) { return LargeCopyFFT(6) },
+	} {
+		e, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		c, err := e.Congestion()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c > 2 {
+			t.Errorf("%s: congestion %d", name, c)
+		}
+	}
+}
+
+func TestDisjointPathsJourney(t *testing.T) {
+	q := NewHypercube(6)
+	paths := DisjointPaths(q, 0, 63)
+	if len(paths) != 6 {
+		t.Fatalf("%d paths", len(paths))
+	}
+	data := []byte("ida over the classical fan")
+	pieces, err := Disperse(data, len(paths), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Reconstruct(pieces[1:5], 4, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip failed")
+	}
+}

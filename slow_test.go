@@ -1,0 +1,85 @@
+package multipath
+
+import "testing"
+
+// Large-scale verification, skipped under -short: the constructions and
+// their independent verifiers at the biggest sizes a laptop handles.
+
+func TestLargeScaleTheorem1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large")
+	}
+	e, err := CycleWidthEmbedding(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := e.Width()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 9 { // a = 8 detours + direct
+		t.Errorf("width %d", w)
+	}
+	c, err := e.SynchronizedCost()
+	if err != nil {
+		t.Fatalf("synchronized schedule collides: %v", err)
+	}
+	if c != 3 {
+		t.Errorf("cost %d", c)
+	}
+}
+
+func TestLargeScaleTheorem2FullUtilization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large")
+	}
+	e, err := CycleLoad2Embedding(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, err := e.SynchronizedCost(); err != nil || c != 3 {
+		t.Fatalf("cost %d err %v", c, err)
+	}
+	u, err := e.LinkUtilization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 1.0 {
+		t.Errorf("utilization %f, want 1 (n = 16 ≡ 0 mod 4)", u)
+	}
+}
+
+func TestLargeScaleHamiltonianDecomposition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large")
+	}
+	for _, n := range []int{17, 18} {
+		d, err := HamiltonianDecomposition(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := d.Verify(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestLargeScaleTheorem3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large")
+	}
+	mc, err := CCCMultiCopy(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cong, err := mc.EdgeCongestion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cong > 2 {
+		t.Errorf("n=16: congestion %d", cong)
+	}
+	if d := mc.Dilation(); d != 1 {
+		t.Errorf("dilation %d", d)
+	}
+}
