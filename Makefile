@@ -3,9 +3,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments examples cover clean
+.PHONY: all check build vet test test-short race bench experiments examples cover clean
 
-all: build vet test
+all: check
+
+# The default verification path: build, vet, tests, and the race
+# detector (the netsim batch runner and mpbench worker pool are
+# concurrent, so -race is part of the gate, not an extra).
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -18,6 +23,9 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -507,10 +507,17 @@ func runE18() (*table, error) {
 	rng := rand.New(rand.NewSource(99))
 	for _, n := range []int{8, 10, 12} {
 		q := multipath.NewHypercube(n)
-		for name, perm := range map[string][]int{
-			"bit-reversal": netsim.BitReversalPermutation(n),
-			"transpose":    netsim.TransposePermutation(n),
+		// Fixed iteration order: the rng is shared across permutations,
+		// so map-order iteration would make the Valiant rows
+		// nondeterministic from run to run.
+		for _, pc := range []struct {
+			name string
+			perm []int
+		}{
+			{"bit-reversal", netsim.BitReversalPermutation(n)},
+			{"transpose", netsim.TransposePermutation(n)},
 		} {
+			name, perm := pc.name, pc.perm
 			direct := netsim.PermutationMessages(q, perm, 4)
 			valiant := netsim.ValiantMessages(q, perm, 4, rng)
 			dr, err := netsim.Simulate(netsim.PermutationMessages(q, perm, 4), netsim.CutThrough)

@@ -2,18 +2,33 @@
 // for each quantitative claim of Greenberg & Bhatt it prints the
 // paper's predicted value next to the value measured on this build.
 //
+// The suites run concurrently across GOMAXPROCS workers (each
+// experiment's simulations are deterministic, so the tables are
+// identical to a serial run — only wall-clock cells vary) and the
+// output order is fixed regardless of scheduling. Alongside the
+// markdown tables, a machine-readable BENCH_netsim.json records
+// per-experiment wall-clock plus the measured speedup of the dense
+// netsim engine over the retained seed simulator, giving future
+// changes a perf trajectory to compare against.
+//
 // Usage:
 //
-//	mpbench            # run all experiments
-//	mpbench -run E2    # run one experiment by id
-//	mpbench -list      # list experiment ids
+//	mpbench                  # run all experiments, write BENCH_netsim.json
+//	mpbench -run E2          # run one experiment by id
+//	mpbench -list            # list experiment ids
+//	mpbench -parallel=false  # force serial execution
+//	mpbench -json ""         # skip the JSON report
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // table is one experiment's output.
@@ -73,12 +88,16 @@ type experiment struct {
 	run   func() (*table, error)
 }
 
-func main() {
-	runID := flag.String("run", "", "run only the experiment with this id (e.g. E2)")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	flag.Parse()
+// outcome is one experiment's completed run.
+type outcome struct {
+	exp  experiment
+	tab  *table
+	err  error
+	wall time.Duration
+}
 
-	exps := []experiment{
+func experimentList() []experiment {
+	return []experiment{
 		{"E1", "Gray-code baseline: m-packet cost is m (Fig. 1, §2)", runE1},
 		{"E2", "Theorem 1: width ~n/2, synchronized cost 3, load 1", runE2},
 		{"E3", "Theorem 2: load 2, cost 3, full link use at n≡0 mod 4", runE3},
@@ -102,7 +121,55 @@ func main() {
 		{"E21", "§1 constant-pinout model: wide grid vs narrow hypercube", runE21},
 		{"E22", "Naive per-edge widening vs Theorem 1's coordination", runE22},
 	}
+}
 
+// runExperiments executes the given suites — serially in order, or
+// across GOMAXPROCS workers — and returns outcomes in input order so
+// downstream printing is deterministic either way.
+func runExperiments(exps []experiment, parallel bool) []outcome {
+	outs := make([]outcome, len(exps))
+	workers := 1
+	if parallel {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > len(exps) {
+			workers = len(exps)
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(exps) {
+					return
+				}
+				start := time.Now()
+				tab, err := exps[i].run()
+				if tab != nil {
+					tab.id, tab.title = exps[i].id, exps[i].title
+				}
+				outs[i] = outcome{exp: exps[i], tab: tab, err: err, wall: time.Since(start)}
+			}
+		}()
+	}
+	wg.Wait()
+	return outs
+}
+
+func main() {
+	runID := flag.String("run", "", "run only the experiment with this id (e.g. E2)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	parallel := flag.Bool("parallel", true, "run experiment suites concurrently (output order is unchanged)")
+	jsonPath := flag.String("json", "BENCH_netsim.json", "write per-experiment wall-clock + metrics JSON here (empty to disable)")
+	flag.Parse()
+
+	exps := experimentList()
 	if *list {
 		for _, e := range exps {
 			fmt.Printf("%-4s %s\n", e.id, e.title)
@@ -110,20 +177,32 @@ func main() {
 		return
 	}
 
+	selected := exps[:0:0]
+	for _, e := range exps {
+		if *runID == "" || strings.EqualFold(*runID, e.id) {
+			selected = append(selected, e)
+		}
+	}
+
+	outs := runExperiments(selected, *parallel)
 	fmt.Println("# mpbench — paper-vs-measured experiment tables")
 	failed := 0
-	for _, e := range exps {
-		if *runID != "" && !strings.EqualFold(*runID, e.id) {
-			continue
-		}
-		t, err := e.run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+	for _, o := range outs {
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", o.exp.id, o.err)
 			failed++
 			continue
 		}
-		t.id, t.title = e.id, e.title
-		t.print()
+		o.tab.print()
+	}
+	if *jsonPath != "" {
+		sp := measureEngineSpeedup()
+		if err := writeBenchJSON(*jsonPath, outs, sp, *parallel); err != nil {
+			fmt.Fprintf(os.Stderr, "bench json: %v\n", err)
+			failed++
+		} else {
+			fmt.Printf("\nwrote %s (netsim engine %.1fx over seed simulator on the E17 sweep)\n", *jsonPath, sp.Speedup)
+		}
 	}
 	if failed > 0 {
 		os.Exit(1)

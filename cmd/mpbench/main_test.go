@@ -1,37 +1,113 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
 
 // Every experiment must run cleanly and produce a non-trivial table;
-// this is the regression gate for EXPERIMENTS.md regeneration.
+// this is the regression gate for EXPERIMENTS.md regeneration. Running
+// through runExperiments with parallelism on also exercises the
+// worker-pool path end to end.
 func TestAllExperimentsProduceTables(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment suite is slow")
 	}
-	runs := map[string]func() (*table, error){
-		"E1": runE1, "E2": runE2, "E3": runE3, "E4": runE4, "E5": runE5,
-		"E6": runE6, "E7": runE7, "E8": runE8, "E9": runE9, "E10": runE10,
-		"E11": runE11, "E12": runE12, "E13": runE13, "E14": runE14,
-		"E15": runE15, "E16": runE16, "E17": runE17, "E18": runE18, "E19": runE19,
-		"E20": runE20, "E21": runE21, "E22": runE22,
-	}
-	for id, f := range runs {
-		tab, err := f()
-		if err != nil {
-			t.Errorf("%s: %v", id, err)
+	for _, o := range runExperiments(experimentList(), true) {
+		if o.err != nil {
+			t.Errorf("%s: %v", o.exp.id, o.err)
 			continue
 		}
+		tab := o.tab
+		if tab.id != o.exp.id {
+			t.Errorf("%s: outcome carries table id %q", o.exp.id, tab.id)
+		}
 		if len(tab.rows) == 0 {
-			t.Errorf("%s: empty table", id)
+			t.Errorf("%s: empty table", o.exp.id)
 		}
 		for _, r := range tab.rows {
 			if len(r) != len(tab.headers) {
-				t.Errorf("%s: ragged row %v vs headers %v", id, r, tab.headers)
+				t.Errorf("%s: ragged row %v vs headers %v", o.exp.id, r, tab.headers)
 			}
 		}
+	}
+}
+
+// Parallel scheduling must not change any experiment's content. E20 is
+// excluded because its cells are wall-clock measurements; everything
+// else is deterministic simulation output.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite is slow")
+	}
+	var exps []experiment
+	for _, e := range experimentList() {
+		switch e.id {
+		case "E1", "E7", "E12", "E17", "E18", "E19":
+			exps = append(exps, e)
+		}
+	}
+	serial := runExperiments(exps, false)
+	par := runExperiments(exps, true)
+	for i := range exps {
+		if serial[i].err != nil || par[i].err != nil {
+			t.Fatalf("%s: serial err %v, parallel err %v", exps[i].id, serial[i].err, par[i].err)
+		}
+		s, p := serial[i].tab, par[i].tab
+		if !reflect.DeepEqual(s.rows, p.rows) || !reflect.DeepEqual(s.headers, p.headers) {
+			t.Errorf("%s: parallel table differs from serial\nserial: %v\nparallel: %v",
+				exps[i].id, s.rows, p.rows)
+		}
+	}
+}
+
+// The JSON report must round-trip every outcome and record a measured
+// engine speedup.
+func TestWriteBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	var exps []experiment
+	for _, e := range experimentList() {
+		if e.id == "E1" || e.id == "E17" {
+			exps = append(exps, e)
+		}
+	}
+	outs := runExperiments(exps, true)
+	sp := measureEngineSpeedup()
+	if sp.Speedup <= 1 {
+		t.Errorf("engine speedup %.2fx not > 1x (ref %.1fms, engine %.1fms)",
+			sp.Speedup, sp.ReferenceMS, sp.EngineMS)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeBenchJSON(path, outs, sp, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Experiments) != len(exps) {
+		t.Fatalf("report has %d experiments, want %d", len(rep.Experiments), len(exps))
+	}
+	for i, be := range rep.Experiments {
+		if be.ID != exps[i].id {
+			t.Errorf("experiment %d: id %q, want %q", i, be.ID, exps[i].id)
+		}
+		if be.Error == "" && len(be.Rows) == 0 {
+			t.Errorf("%s: no rows recorded", be.ID)
+		}
+	}
+	if rep.EngineSpeedup == nil || rep.EngineSpeedup.Speedup != sp.Speedup {
+		t.Errorf("speedup not recorded: %+v", rep.EngineSpeedup)
 	}
 }
 

@@ -2,6 +2,12 @@
 // command line: random-permutation traffic on Q_n under several
 // routing strategies, reporting completion steps.
 //
+// The buffered-switching strategies are independent simulations, so
+// they are dispatched as one netsim.SimulateBatch call and run across
+// GOMAXPROCS workers; wormhole switching (which can deadlock and
+// reports through a different result type) runs separately. Output
+// order is fixed regardless of scheduling.
+//
 // Usage:
 //
 //	routesim -n 4 -flits 64 -seed 42
@@ -42,45 +48,69 @@ func run(n, flits int, seed int64, strategy string) error {
 	fmt.Printf("host Q_%d (%d nodes), %d-flit messages, random permutation (seed %d)\n",
 		q.Dims(), q.Nodes(), flits, seed)
 
-	type runner struct {
-		name string
-		f    func() (*netsim.Result, error)
+	// Build each selected strategy's message set eagerly, then hand the
+	// buffered-switching runs to SimulateBatch in one shot. Only valiant
+	// draws from rng beyond the permutation, so eager construction keeps
+	// the historical seed→route mapping.
+	type entry struct {
+		name     string
+		wormhole bool
+		msgs     []*netsim.Message
+		mode     netsim.Mode
 	}
-	runners := []runner{
-		{"ecube-sf", func() (*netsim.Result, error) {
-			return netsim.Simulate(netsim.PermutationMessages(q, perm, flits), netsim.StoreAndForward)
-		}},
-		{"ecube-ct", func() (*netsim.Result, error) {
-			return netsim.Simulate(netsim.PermutationMessages(q, perm, flits), netsim.CutThrough)
-		}},
-		{"ecube-wh", func() (*netsim.Result, error) {
-			r, err := netsim.SimulateWormhole(netsim.PermutationMessages(q, perm, flits))
-			if err != nil {
-				return nil, err
-			}
-			return &r.Result, nil
-		}},
-		{"valiant", func() (*netsim.Result, error) {
-			return netsim.Simulate(netsim.ValiantMessages(q, perm, flits, rng), netsim.CutThrough)
-		}},
-		{"ccc", func() (*netsim.Result, error) {
-			msgs, err := netsim.MultiCopyCCCMessages(mc, n, perm, flits)
-			if err != nil {
-				return nil, err
-			}
-			return netsim.Simulate(msgs, netsim.CutThrough)
-		}},
+	var entries []entry
+	want := func(name string) bool { return strategy == "all" || strategy == name }
+	if want("ecube-sf") {
+		entries = append(entries, entry{name: "ecube-sf",
+			msgs: netsim.PermutationMessages(q, perm, flits), mode: netsim.StoreAndForward})
 	}
-	for _, r := range runners {
-		if strategy != "all" && strategy != r.name {
+	if want("ecube-ct") {
+		entries = append(entries, entry{name: "ecube-ct",
+			msgs: netsim.PermutationMessages(q, perm, flits), mode: netsim.CutThrough})
+	}
+	if want("ecube-wh") {
+		entries = append(entries, entry{name: "ecube-wh", wormhole: true,
+			msgs: netsim.PermutationMessages(q, perm, flits)})
+	}
+	if want("valiant") {
+		entries = append(entries, entry{name: "valiant",
+			msgs: netsim.ValiantMessages(q, perm, flits, rng), mode: netsim.CutThrough})
+	}
+	if want("ccc") {
+		msgs, err := netsim.MultiCopyCCCMessages(mc, n, perm, flits)
+		if err != nil {
+			return fmt.Errorf("ccc: %w", err)
+		}
+		entries = append(entries, entry{name: "ccc", msgs: msgs, mode: netsim.CutThrough})
+	}
+
+	var jobs []netsim.BatchJob
+	jobOf := make([]int, len(entries)) // entry index -> batch job index, -1 for wormhole
+	for i, e := range entries {
+		if e.wormhole {
+			jobOf[i] = -1
 			continue
 		}
-		res, err := r.f()
-		if err != nil {
-			return fmt.Errorf("%s: %w", r.name, err)
+		jobOf[i] = len(jobs)
+		jobs = append(jobs, netsim.BatchJob{Msgs: e.msgs, Mode: e.mode})
+	}
+	results, err := netsim.SimulateBatch(jobs)
+	if err != nil {
+		return err
+	}
+	for i, e := range entries {
+		var res *netsim.Result
+		if e.wormhole {
+			wr, err := netsim.SimulateWormhole(e.msgs)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.name, err)
+			}
+			res = &wr.Result
+		} else {
+			res = results[jobOf[i]]
 		}
 		fmt.Printf("%-9s steps=%-6d delivered=%-5d flit-hops=%-8d max-queue=%d\n",
-			r.name, res.Steps, res.DeliveredMsgs, res.FlitsMoved, res.MaxLinkQueue)
+			e.name, res.Steps, res.DeliveredMsgs, res.FlitsMoved, res.MaxLinkQueue)
 	}
 	return nil
 }

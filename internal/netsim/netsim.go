@@ -19,6 +19,14 @@
 // Routes are sequences of directed link ids (any dense numbering).
 // Each link carries one flit per step; contention resolves FIFO by
 // arrival step, ties by message id (deterministic).
+//
+// The simulation core is a dense, worklist-driven Engine: a numbering
+// pass gives links contiguous ids, per-link FIFOs live in flat reusable
+// slices, and each step touches only links that can move a flit.
+// Simulate draws Engines from a sync.Pool; SimulateBatch fans
+// independent simulations out across GOMAXPROCS workers. The original
+// map-scanning simulator is retained as SimulateReference — the golden
+// model for equivalence tests and old-vs-new benchmarks.
 package netsim
 
 import "fmt"
@@ -53,127 +61,30 @@ type Message struct {
 
 // Result reports a completed simulation.
 type Result struct {
-	Steps         int // steps until the last flit arrived
-	FlitsMoved    int // total link crossings
-	MaxLinkQueue  int // largest per-link backlog observed
+	Steps      int // steps until the last flit arrived
+	FlitsMoved int // total link crossings
+	// MaxLinkQueue is the largest number of messages simultaneously
+	// enqueued on any one directed link at any point in the run: every
+	// enqueue samples the queue length, so transient peaks between
+	// steps are counted. A message waiting for upstream flits still
+	// occupies its queue slot; a message leaves the queue only once its
+	// last flit has crossed that link.
+	MaxLinkQueue  int
 	DeliveredMsgs int
 }
 
 // Simulate runs the synchronous simulation to completion. Messages
 // with empty routes (source = destination) complete at step 0. The
 // step limit guards against livelock bugs; it scales with the total
-// work so legitimate runs never hit it.
+// work so legitimate runs never hit it (see stepLimit).
+//
+// Simulate is safe for concurrent use: each call borrows a pooled
+// Engine, so scratch buffers are reused across calls without locking.
 func Simulate(msgs []*Message, mode Mode) (*Result, error) {
-	type state struct {
-		m *Message
-		// arrived[j] = flits available at the tail of link j;
-		// crossed[j] = flits that have crossed link j.
-		arrived  []int
-		crossed  []int
-		buffered []int // for StoreAndForward: flits pending release
-		enqueued []bool
-	}
-	states := make([]*state, len(msgs))
-	totalWork := 0
-	remaining := 0
-	for i, m := range msgs {
-		if m.Flits < 1 {
-			return nil, fmt.Errorf("netsim: message %d has %d flits", i, m.Flits)
-		}
-		s := &state{
-			m:        m,
-			arrived:  make([]int, len(m.Route)),
-			crossed:  make([]int, len(m.Route)),
-			buffered: make([]int, len(m.Route)),
-			enqueued: make([]bool, len(m.Route)),
-		}
-		if len(m.Route) > 0 {
-			s.arrived[0] = m.Flits
-			remaining++
-		}
-		totalWork += m.Flits * len(m.Route)
-		states[i] = s
-	}
-	// Per-link FIFO of (message, linkIndex) waiting to transfer.
-	type want struct{ msg, hop int }
-	queues := make(map[int][]want)
-	res := &Result{}
-	for i, s := range states {
-		if len(s.m.Route) > 0 {
-			queues[s.m.Route[0]] = append(queues[s.m.Route[0]], want{i, 0})
-			s.enqueued[0] = true
-		}
-	}
-	limit := 4*totalWork + 4*len(msgs) + 16
-	step := 0
-	type delivery struct {
-		msg, hop, count int
-	}
-	for remaining > 0 {
-		step++
-		if step > limit {
-			return nil, fmt.Errorf("netsim: no progress after %d steps", limit)
-		}
-		var arrivals []delivery
-		for link, q := range queues {
-			if len(q) > res.MaxLinkQueue {
-				res.MaxLinkQueue = len(q)
-			}
-			// First queued request with an available flit transfers.
-			sel := -1
-			for qi, w := range q {
-				if states[w.msg].arrived[w.hop]-states[w.msg].crossed[w.hop] > 0 {
-					sel = qi
-					break
-				}
-			}
-			if sel < 0 {
-				continue
-			}
-			w := q[sel]
-			s := states[w.msg]
-			s.crossed[w.hop]++
-			res.FlitsMoved++
-			arrivals = append(arrivals, delivery{w.msg, w.hop, 1})
-			// Drop from the queue if nothing more will ever cross here.
-			if s.crossed[w.hop] == s.m.Flits {
-				queues[link] = append(q[:sel:sel], q[sel+1:]...)
-				s.enqueued[w.hop] = false
-				if len(queues[link]) == 0 {
-					delete(queues, link)
-				}
-			}
-		}
-		// Credit arrivals at the next hop after all transfers resolved,
-		// so a flit moves at most one link per step.
-		for _, d := range arrivals {
-			s := states[d.msg]
-			next := d.hop + 1
-			if next == len(s.m.Route) {
-				if s.crossed[d.hop] == s.m.Flits {
-					remaining--
-					res.DeliveredMsgs++
-				}
-				continue
-			}
-			switch mode {
-			case CutThrough:
-				s.arrived[next] += d.count
-			case StoreAndForward:
-				s.buffered[next] += d.count
-				if s.buffered[next] == s.m.Flits {
-					s.arrived[next] = s.m.Flits
-				}
-			}
-			if !s.enqueued[next] && s.arrived[next] > 0 {
-				queues[s.m.Route[next]] = append(queues[s.m.Route[next]], want{d.msg, next})
-				s.enqueued[next] = true
-			}
-		}
-	}
-	res.Steps = step
-	res.DeliveredMsgs += countEmptyRoutes(msgs)
-	return res, nil
+	e := enginePool.Get().(*Engine)
+	res, err := e.Simulate(msgs, mode)
+	enginePool.Put(e)
+	return res, err
 }
 
 func countEmptyRoutes(msgs []*Message) int {

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"multipath/internal/ccc"
@@ -14,7 +15,10 @@ import (
 // ECubeRoute returns the link ids of the ascending-dimension route from
 // src to dst on Q_n — the standard deadlock-free single-path router.
 func ECubeRoute(q *hypercube.Q, src, dst hypercube.Node) []int {
-	var out []int
+	if src == dst {
+		return nil
+	}
+	out := make([]int, 0, bits.OnesCount64(uint64(src^dst)))
 	cur := src
 	for d := 0; d < q.Dims(); d++ {
 		if (cur^dst)&(1<<uint(d)) != 0 {

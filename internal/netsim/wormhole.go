@@ -1,9 +1,6 @@
 package netsim
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // True wormhole switching (§7, Dally & Seitz [9,10]): a message's head
 // acquires links one at a time and each acquired link is held — usable
@@ -14,6 +11,15 @@ import (
 // detects deadlock (a step with work remaining but no grant and no
 // flit movement) and reports it; dimension-ordered (e-cube) routes are
 // provably deadlock-free and pass cleanly.
+//
+// Like the Engine behind Simulate, the implementation numbers links
+// densely up front and keeps all per-link and per-message state in
+// flat slices: channel holders, waiter FIFOs (intrusive lists — a
+// message waits on at most one link at a time), and flit counts are
+// array lookups, and the per-step map iteration + sort of the original
+// implementation is gone. Grant and transfer decisions are independent
+// across links within a step, so iterating links in dense-id order
+// yields results identical to the original's sorted-id order.
 
 // WormholeResult extends Result with holding diagnostics.
 type WormholeResult struct {
@@ -41,124 +47,167 @@ func (e *ErrDeadlock) Error() string {
 // completion or deadlock. Link arbitration is FIFO by request step,
 // ties broken by message id.
 func SimulateWormhole(msgs []*Message) (*WormholeResult, error) {
-	type state struct {
-		m       *Message
-		crossed []int // flits across each route link
-		head    int   // highest acquired route index (-1: none)
-		tail    int   // lowest still-held route index
-		done    bool
-	}
-	states := make([]*state, len(msgs))
-	remaining := 0
+	// Dense link numbering over the routes; flat position state.
+	total := 0
 	for i, m := range msgs {
 		if m.Flits < 1 {
 			return nil, fmt.Errorf("netsim: message %d has %d flits", i, m.Flits)
 		}
-		states[i] = &state{m: m, crossed: make([]int, len(m.Route)), head: -1}
+		total += len(m.Route)
+	}
+	dense := make(map[int]int32, total)
+	route := make([]int32, total) // dense link id per position
+	off := make([]int32, len(msgs)+1)
+	pos := int32(0)
+	for i, m := range msgs {
+		off[i] = pos
+		for _, id := range m.Route {
+			d, ok := dense[id]
+			if !ok {
+				d = int32(len(dense))
+				dense[id] = d
+			}
+			route[pos] = d
+			pos++
+		}
+	}
+	off[len(msgs)] = pos
+	links := len(dense)
+
+	crossed := make([]int, total) // flits across each route position
+	head := make([]int32, len(msgs))
+	tail := make([]int32, len(msgs))
+	done := make([]bool, len(msgs))
+	waitNext := make([]int32, len(msgs)) // intrusive waiter FIFO
+	waitingOn := make([]int32, len(msgs))
+
+	holder := make([]int32, links) // link → message id, -1 free
+	waitHead := make([]int32, links)
+	waitTail := make([]int32, links)
+	waitLen := make([]int, links)
+	for l := 0; l < links; l++ {
+		holder[l] = -1
+		waitHead[l] = -1
+		waitTail[l] = -1
+	}
+
+	res := &WormholeResult{}
+	remaining := 0
+	wait := func(mi, l int32) {
+		if waitTail[l] < 0 {
+			waitHead[l] = mi
+		} else {
+			waitNext[waitTail[l]] = mi
+		}
+		waitTail[l] = mi
+		waitNext[mi] = -1
+		waitingOn[mi] = l
+		waitLen[l]++
+	}
+	for i, m := range msgs {
+		head[i] = -1
+		waitingOn[i] = -1
 		if len(m.Route) > 0 {
 			remaining++
+			wait(int32(i), route[off[i]])
 		} else {
-			states[i].done = true
+			done[i] = true
 		}
 	}
-	holder := make(map[int]int)    // link → message id
-	waiting := make(map[int][]int) // link → FIFO of message ids
-	res := &WormholeResult{}
-	for i, s := range states {
-		if !s.done {
-			waiting[s.m.Route[0]] = append(waiting[s.m.Route[0]], i)
-		}
-	}
+
+	moves := make([]int32, 0, links) // positions crossing this step
 	step := 0
 	for remaining > 0 {
 		step++
 		progress := false
 		// Allocation: grant free links to the first waiter.
-		links := make([]int, 0, len(waiting))
-		for l := range waiting {
-			links = append(links, l)
-		}
-		sort.Ints(links)
-		for _, l := range links {
-			if _, held := holder[l]; held {
-				if len(waiting[l]) > res.MaxLinkQueue {
-					res.MaxLinkQueue = len(waiting[l])
+		for l := 0; l < links; l++ {
+			mi := waitHead[l]
+			if mi < 0 {
+				continue
+			}
+			if holder[l] >= 0 {
+				if waitLen[l] > res.MaxLinkQueue {
+					res.MaxLinkQueue = waitLen[l]
 				}
 				continue
 			}
-			q := waiting[l]
-			mi := q[0]
-			waiting[l] = q[1:]
-			if len(waiting[l]) == 0 {
-				delete(waiting, l)
+			waitHead[l] = waitNext[mi]
+			if waitHead[l] < 0 {
+				waitTail[l] = -1
 			}
+			waitLen[l]--
+			waitingOn[mi] = -1
 			holder[l] = mi
-			states[mi].head++
+			head[mi]++
 			progress = true
 		}
 		// Transfer: each held link moves one flit if its predecessor
-		// has delivered one (based on start-of-step counts).
-		type move struct{ msg, hop int }
-		var moves []move
-		held := make([]int, 0, len(holder))
-		for l := range holder {
-			held = append(held, l)
-		}
-		sort.Ints(held)
-		// Decide every transfer from start-of-step counts, then apply,
-		// so no flit crosses two links in one step. A flit may cross
-		// link j only if one is buffered behind it and the flit buffer
-		// ahead of it (flitBuffer slots per channel) has room — this is
-		// what makes a stalled head stall the whole worm in place
-		// instead of draining into intermediate nodes.
-		for _, l := range held {
+		// has delivered one. Decide every transfer from start-of-step
+		// counts, then apply, so no flit crosses two links in one step.
+		// A flit may cross link j only if one is buffered behind it and
+		// the flit buffer ahead of it (flitBuffer slots per channel)
+		// has room — this is what makes a stalled head stall the whole
+		// worm in place instead of draining into intermediate nodes.
+		moves = moves[:0]
+		for l := 0; l < links; l++ {
 			mi := holder[l]
-			s := states[mi]
-			hop := routeIndex(s.m.Route, l, s.tail, s.head)
+			if mi < 0 {
+				continue
+			}
+			base, end := off[mi], off[mi+1]
+			hop := int32(-1)
+			for j := tail[mi]; j <= head[mi] && base+j < end; j++ {
+				if route[base+j] == int32(l) {
+					hop = j
+					break
+				}
+			}
 			if hop < 0 {
 				return nil, fmt.Errorf("netsim: message %d holds link %d outside its window", mi, l)
 			}
-			avail := s.m.Flits
+			p := base + hop
+			avail := msgs[mi].Flits
 			if hop > 0 {
-				avail = s.crossed[hop-1]
+				avail = crossed[p-1]
 			}
-			if avail-s.crossed[hop] <= 0 {
+			if avail-crossed[p] <= 0 {
 				continue
 			}
-			if hop+1 < len(s.m.Route) && s.crossed[hop]-s.crossed[hop+1] >= flitBuffer {
+			if p+1 < end && crossed[p]-crossed[p+1] >= flitBuffer {
 				continue // downstream buffer full
 			}
-			moves = append(moves, move{mi, hop})
+			moves = append(moves, p)
 		}
-		for _, mv := range moves {
-			s := states[mv.msg]
-			s.crossed[mv.hop]++
+		for _, p := range moves {
+			crossed[p]++
 			res.FlitsMoved++
 			progress = true
 		}
 		// Post-transfer bookkeeping: head requests, tail releases,
 		// completion.
-		for mi, s := range states {
-			if s.done {
+		for mi := range msgs {
+			if done[mi] {
 				continue
 			}
-			if span := s.head - s.tail + 1; span > res.MaxLinksHeld {
+			if span := int(head[mi]-tail[mi]) + 1; span > res.MaxLinksHeld {
 				res.MaxLinksHeld = span
 			}
+			base, rlen := off[mi], off[mi+1]-off[mi]
 			// Head extends once the first flit has arrived at its node.
-			if s.head >= 0 && s.head+1 < len(s.m.Route) && s.crossed[s.head] == 1 {
-				next := s.m.Route[s.head+1]
-				if h, ok := holder[next]; (!ok || h != mi) && !contains(waiting[next], mi) {
-					waiting[next] = append(waiting[next], mi)
+			if h := head[mi]; h >= 0 && h+1 < rlen && crossed[base+h] == 1 {
+				next := route[base+h+1]
+				if holder[next] != int32(mi) && waitingOn[mi] < 0 {
+					wait(int32(mi), next)
 				}
 			}
 			// Tail releases fully-drained links.
-			for s.tail <= s.head && s.crossed[s.tail] == s.m.Flits {
-				delete(holder, s.m.Route[s.tail])
-				s.tail++
+			for tail[mi] <= head[mi] && crossed[base+tail[mi]] == msgs[mi].Flits {
+				holder[route[base+tail[mi]]] = -1
+				tail[mi]++
 			}
-			if s.tail == len(s.m.Route) {
-				s.done = true
+			if tail[mi] == rlen {
+				done[mi] = true
 				remaining--
 				res.DeliveredMsgs++
 			}
@@ -170,22 +219,4 @@ func SimulateWormhole(msgs []*Message) (*WormholeResult, error) {
 	res.Steps = step
 	res.DeliveredMsgs += countEmptyRoutes(msgs)
 	return res, nil
-}
-
-func routeIndex(route []int, link, lo, hi int) int {
-	for i := lo; i <= hi && i < len(route); i++ {
-		if route[i] == link {
-			return i
-		}
-	}
-	return -1
-}
-
-func contains(s []int, v int) bool {
-	for _, x := range s {
-		if x == v {
-			return true
-		}
-	}
-	return false
 }
