@@ -27,8 +27,11 @@ test-short:
 race:
 	$(GO) test -race ./...
 
+# Go benchmarks, then a full mpbench run to refresh both perf records
+# (BENCH_netsim.json and BENCH_construct.json).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/mpbench > /dev/null
 
 # Regenerate the paper-vs-measured tables (EXPERIMENTS.md content).
 experiments:

@@ -1,0 +1,232 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"multipath"
+	"multipath/internal/core"
+	"multipath/internal/cycles"
+	"multipath/internal/hamdecomp"
+	"multipath/internal/xproduct"
+)
+
+// BENCH_construct.json: the perf record for the dense metric engine in
+// internal/core, emitted alongside BENCH_netsim.json. For each paper
+// construction at growing host sizes it captures build and verify
+// wall-clock, and at n = 16 it pins the warm-verification speedup of
+// the dense parallel passes over the retained map-based reference
+// implementations (WidthReference / SynchronizedCostReference).
+
+type constructCase struct {
+	Name        string  `json:"name"`
+	HostDims    int     `json:"host_dims"`
+	GuestEdges  int     `json:"guest_edges"`
+	Width       int     `json:"width"`
+	SyncCost    int     `json:"sync_cost"`
+	BuildMS     float64 `json:"build_ms"`
+	ColdMS      float64 `json:"cold_verify_ms"` // first Validate+Width+SynchronizedCost (builds the route cache)
+	WarmMS      float64 `json:"warm_verify_ms"` // same sweep with the cache hot, best of 3
+	PacketCosts []int   `json:"ppacket_costs"`  // PPacketCosts sweep over ppacketSweep
+}
+
+type metricSpeedup struct {
+	Case        string  `json:"case"`
+	Metric      string  `json:"metric"`
+	ReferenceMS float64 `json:"reference_ms"`
+	DenseMS     float64 `json:"dense_ms"`
+	Speedup     float64 `json:"speedup"`
+}
+
+type constructReport struct {
+	GeneratedAt string          `json:"generated_at"`
+	GoMaxProcs  int             `json:"gomaxprocs"`
+	Cases       []constructCase `json:"cases"`
+	Speedups    []metricSpeedup `json:"warm_speedups_n16"`
+}
+
+// ppacketSweep is the packet-count sweep measured per construction via
+// one SimulateBatch call (core.PPacketCosts).
+var ppacketSweep = []int{1, 2, 4, 8}
+
+// constructEmbeddings builds the benchmark constructions in order.
+// Theorem 4 runs at base a ∈ {4, 8} (hosts Q_8 and Q_16); a = 6 is
+// skipped because padding its 6 directed cycles to 8 moment labels
+// repeats automorphs and breaks the collision-free schedule.
+func constructEmbeddings() ([]string, []func() (*core.Embedding, error)) {
+	names := []string{
+		"theorem1/n=8", "theorem1/n=12", "theorem1/n=16",
+		"theorem2/n=8", "theorem2/n=12", "theorem2/n=16",
+		"theorem4/n=8", "theorem4/n=16",
+	}
+	builders := []func() (*core.Embedding, error){
+		func() (*core.Embedding, error) { return cycles.Theorem1(8) },
+		func() (*core.Embedding, error) { return cycles.Theorem1(12) },
+		func() (*core.Embedding, error) { return cycles.Theorem1(16) },
+		func() (*core.Embedding, error) { return cycles.Theorem2(8) },
+		func() (*core.Embedding, error) { return cycles.Theorem2(12) },
+		func() (*core.Embedding, error) { return cycles.Theorem2(16) },
+		func() (*core.Embedding, error) { return theorem4Embedding(4) },
+		func() (*core.Embedding, error) { return theorem4Embedding(8) },
+	}
+	return names, builders
+}
+
+func theorem4Embedding(a int) (*core.Embedding, error) {
+	dec, err := hamdecomp.Decompose(a)
+	if err != nil {
+		return nil, err
+	}
+	q := multipath.NewHypercube(a)
+	var copies []*core.Embedding
+	for _, cyc := range dec.Directed() {
+		e, err := multipath.DirectCycleEmbedding(q, cyc)
+		if err != nil {
+			return nil, err
+		}
+		copies = append(copies, e)
+	}
+	_, xe, err := xproduct.Theorem4(copies)
+	return xe, err
+}
+
+func verifySweep(e *core.Embedding) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	if _, err := e.Width(); err != nil {
+		return err
+	}
+	if _, err := e.SynchronizedCost(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// bestOf3 returns the best wall-clock of three runs of fn.
+func bestOf3(fn func() error) (time.Duration, error) {
+	var best time.Duration
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); rep == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+func runConstructBench() (*constructReport, error) {
+	rep := &constructReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	names, builders := constructEmbeddings()
+	for i, name := range names {
+		start := time.Now()
+		e, err := builders[i]()
+		if err != nil {
+			return nil, fmt.Errorf("%s: build: %w", name, err)
+		}
+		build := time.Since(start)
+
+		start = time.Now()
+		if err := verifySweep(e); err != nil {
+			return nil, fmt.Errorf("%s: verify: %w", name, err)
+		}
+		cold := time.Since(start)
+
+		warm, err := bestOf3(func() error { return verifySweep(e) })
+		if err != nil {
+			return nil, fmt.Errorf("%s: warm verify: %w", name, err)
+		}
+		w, err := e.Width()
+		if err != nil {
+			return nil, err
+		}
+		c, err := e.SynchronizedCost()
+		if err != nil {
+			return nil, err
+		}
+		costs, err := e.PPacketCosts(ppacketSweep)
+		if err != nil {
+			return nil, fmt.Errorf("%s: ppacket sweep: %w", name, err)
+		}
+		rep.Cases = append(rep.Cases, constructCase{
+			Name:        name,
+			HostDims:    e.Host.Dims(),
+			GuestEdges:  e.Guest.M(),
+			Width:       w,
+			SyncCost:    c,
+			BuildMS:     ms(build),
+			ColdMS:      ms(cold),
+			WarmMS:      ms(warm),
+			PacketCosts: costs,
+		})
+
+		// At n = 16, pin warm dense-vs-reference speedups per metric.
+		if e.Host.Dims() != 16 {
+			continue
+		}
+		type metric struct {
+			name      string
+			dense     func() error
+			reference func() error
+		}
+		metrics := []metric{
+			{"width",
+				func() error { _, err := e.Width(); return err },
+				func() error { _, err := e.WidthReference(); return err }},
+			{"synchronized_cost",
+				func() error { _, err := e.SynchronizedCost(); return err },
+				func() error { _, err := e.SynchronizedCostReference(); return err }},
+		}
+		for _, m := range metrics {
+			dense, err := bestOf3(m.dense)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", name, m.name, err)
+			}
+			ref, err := bestOf3(m.reference)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %s reference: %w", name, m.name, err)
+			}
+			rep.Speedups = append(rep.Speedups, metricSpeedup{
+				Case:        name,
+				Metric:      m.name,
+				ReferenceMS: ms(ref),
+				DenseMS:     ms(dense),
+				Speedup:     float64(ref) / float64(dense),
+			})
+		}
+	}
+	return rep, nil
+}
+
+func writeConstructJSON(path string) error {
+	rep, err := runConstructBench()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	min := 0.0
+	for _, s := range rep.Speedups {
+		if min == 0 || s.Speedup < min {
+			min = s.Speedup
+		}
+	}
+	fmt.Printf("wrote %s (dense metric engine ≥%.1fx over map reference at n=16, warm)\n", path, min)
+	return nil
+}

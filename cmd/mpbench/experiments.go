@@ -11,6 +11,7 @@ import (
 	"multipath/internal/grid"
 	"multipath/internal/hamdecomp"
 	"multipath/internal/netsim"
+	"multipath/internal/traffic"
 	"multipath/internal/xproduct"
 )
 
@@ -336,7 +337,7 @@ func runE12() (*table, error) {
 		if err != nil {
 			return nil, err
 		}
-		msgs, err := netsim.MultiCopyCCCMessages(mc, n, perm, M)
+		msgs, err := traffic.MultiCopyCCCMessages(mc, n, perm, M)
 		if err != nil {
 			return nil, err
 		}
@@ -680,10 +681,14 @@ func runE22() (*table, error) {
 		if err != nil {
 			return nil, err
 		}
-		for name, e := range map[string]*multipath.Embedding{
-			"Theorem 1":      th1,
-			"naive widening": wide,
+		for _, c := range []struct {
+			name string
+			e    *multipath.Embedding
+		}{
+			{"Theorem 1", th1},
+			{"naive widening", wide},
 		} {
+			name, e := c.name, c.e
 			w, err := e.Width()
 			if err != nil {
 				return nil, err

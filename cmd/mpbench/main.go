@@ -6,18 +6,22 @@
 // experiment's simulations are deterministic, so the tables are
 // identical to a serial run — only wall-clock cells vary) and the
 // output order is fixed regardless of scheduling. Alongside the
-// markdown tables, a machine-readable BENCH_netsim.json records
-// per-experiment wall-clock plus the measured speedup of the dense
-// netsim engine over the retained seed simulator, giving future
-// changes a perf trajectory to compare against.
+// markdown tables, two machine-readable perf records are written:
+// BENCH_netsim.json (per-experiment wall-clock plus the dense netsim
+// engine's speedup over the retained seed simulator) and
+// BENCH_construct.json (the dense metric engine in internal/core:
+// build/verify wall-clock per construction and the warm speedup over
+// the map-based reference verifiers at n = 16), giving future changes
+// a perf trajectory to compare against.
 //
 // Usage:
 //
-//	mpbench                  # run all experiments, write BENCH_netsim.json
+//	mpbench                  # run all experiments, write both JSON reports
 //	mpbench -run E2          # run one experiment by id
 //	mpbench -list            # list experiment ids
 //	mpbench -parallel=false  # force serial execution
-//	mpbench -json ""         # skip the JSON report
+//	mpbench -json ""         # skip the netsim JSON report
+//	mpbench -construct-json "" # skip the metric-engine JSON report
 package main
 
 import (
@@ -167,6 +171,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	parallel := flag.Bool("parallel", true, "run experiment suites concurrently (output order is unchanged)")
 	jsonPath := flag.String("json", "BENCH_netsim.json", "write per-experiment wall-clock + metrics JSON here (empty to disable)")
+	constructPath := flag.String("construct-json", "BENCH_construct.json", "write the dense metric-engine benchmark JSON here (empty to disable)")
 	flag.Parse()
 
 	exps := experimentList()
@@ -202,6 +207,12 @@ func main() {
 			failed++
 		} else {
 			fmt.Printf("\nwrote %s (netsim engine %.1fx over seed simulator on the E17 sweep)\n", *jsonPath, sp.Speedup)
+		}
+	}
+	if *constructPath != "" {
+		if err := writeConstructJSON(*constructPath); err != nil {
+			fmt.Fprintf(os.Stderr, "construct json: %v\n", err)
+			failed++
 		}
 	}
 	if failed > 0 {

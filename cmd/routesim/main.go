@@ -22,6 +22,7 @@ import (
 
 	"multipath"
 	"multipath/internal/netsim"
+	"multipath/internal/traffic"
 )
 
 func main() {
@@ -77,7 +78,7 @@ func run(n, flits int, seed int64, strategy string) error {
 			msgs: netsim.ValiantMessages(q, perm, flits, rng), mode: netsim.CutThrough})
 	}
 	if want("ccc") {
-		msgs, err := netsim.MultiCopyCCCMessages(mc, n, perm, flits)
+		msgs, err := traffic.MultiCopyCCCMessages(mc, n, perm, flits)
 		if err != nil {
 			return fmt.Errorf("ccc: %w", err)
 		}

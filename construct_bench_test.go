@@ -1,0 +1,119 @@
+package multipath
+
+// Benchmarks for the dense metric engine over the paper's embedding
+// constructions at matched host sizes: Theorems 1 and 2 in Q_n for
+// n ∈ {8, 12, 16}, and Theorem 4's induced cross product of Lemma 1's
+// cycle decomposition at base a ∈ {4, 8} (whose X(G) lands in
+// Q_8 / Q_16). Each benchmark builds the embedding once and
+// measures warm verification — the route cache is hot, so these track
+// the pooled parallel passes, not construction. cmd/mpbench's
+// BENCH_construct.json records the same metrics against the map-based
+// reference implementations.
+
+import (
+	"fmt"
+	"testing"
+
+	"multipath/internal/core"
+	"multipath/internal/cycles"
+	"multipath/internal/hamdecomp"
+	"multipath/internal/xproduct"
+)
+
+// constructCases builds the benchmark embeddings, keyed "name/n=host".
+func constructCases(b *testing.B) map[string]*core.Embedding {
+	b.Helper()
+	out := map[string]*core.Embedding{}
+	for _, n := range []int{8, 12, 16} {
+		e, err := cycles.Theorem1(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[fmt.Sprintf("theorem1/n=%d", n)] = e
+	}
+	for _, n := range []int{8, 12, 16} {
+		e, err := cycles.Theorem2(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[fmt.Sprintf("theorem2/n=%d", n)] = e
+	}
+	// a = 6 is excluded: Q_6 decomposes into only 6 directed cycles, and
+	// padding to the 8 moment labels Theorem 4 wants repeats automorphs,
+	// which breaks the collision-free synchronized schedule.
+	for _, a := range []int{4, 8} {
+		e, err := theorem4Embedding(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[fmt.Sprintf("theorem4/n=%d", 2*a)] = e
+	}
+	return out
+}
+
+// theorem4Embedding builds Theorem 4's embedding of the induced cross
+// product of Q_a's Hamiltonian cycle decomposition, hosted in Q_2a.
+func theorem4Embedding(a int) (*core.Embedding, error) {
+	dec, err := hamdecomp.Decompose(a)
+	if err != nil {
+		return nil, err
+	}
+	q := NewHypercube(a)
+	var copies []*core.Embedding
+	for _, cyc := range dec.Directed() {
+		e, err := DirectCycleEmbedding(q, cyc)
+		if err != nil {
+			return nil, err
+		}
+		copies = append(copies, e)
+	}
+	_, xe, err := xproduct.Theorem4(copies)
+	return xe, err
+}
+
+func benchMetric(b *testing.B, fn func(e *core.Embedding) error) {
+	cases := constructCases(b)
+	for _, name := range []string{
+		"theorem1/n=8", "theorem1/n=12", "theorem1/n=16",
+		"theorem2/n=8", "theorem2/n=12", "theorem2/n=16",
+		"theorem4/n=8", "theorem4/n=16",
+	} {
+		e := cases[name]
+		if err := fn(e); err != nil { // warm the route cache
+			b.Fatalf("%s: %v", name, err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := fn(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkValidate(b *testing.B) {
+	benchMetric(b, func(e *core.Embedding) error { return e.Validate() })
+}
+
+func BenchmarkWidth(b *testing.B) {
+	benchMetric(b, func(e *core.Embedding) error {
+		_, err := e.Width()
+		return err
+	})
+}
+
+func BenchmarkSynchronizedCost(b *testing.B) {
+	benchMetric(b, func(e *core.Embedding) error {
+		_, err := e.SynchronizedCost()
+		return err
+	})
+}
+
+func BenchmarkPPacketCost(b *testing.B) {
+	benchMetric(b, func(e *core.Embedding) error {
+		_, err := e.PPacketCost(4)
+		return err
+	})
+}

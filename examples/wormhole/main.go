@@ -12,6 +12,7 @@ import (
 
 	"multipath"
 	"multipath/internal/netsim"
+	"multipath/internal/traffic"
 )
 
 func main() {
@@ -32,7 +33,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		msgs, err := netsim.MultiCopyCCCMessages(mc, n, perm, M)
+		msgs, err := traffic.MultiCopyCCCMessages(mc, n, perm, M)
 		if err != nil {
 			log.Fatal(err)
 		}

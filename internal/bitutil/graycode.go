@@ -46,13 +46,16 @@ func GrayTransition(j uint32, k int) int {
 }
 
 // GraySequence returns the full transition sequence G_k as a slice of
-// 2^k dimension indices.
+// 2^k dimension indices. The sequence is memoized per k and shared
+// between callers: treat it as read-only and copy before mutating.
 func GraySequence(k int) []int {
-	seq := make([]int, 1<<uint(k))
-	for j := range seq {
-		seq[j] = GrayTransition(uint32(j), k)
-	}
-	return seq
+	return memoized(k, graySeqs, func(k int) []int {
+		seq := make([]int, 1<<uint(k))
+		for j := range seq {
+			seq[j] = GrayTransition(uint32(j), k)
+		}
+		return seq
+	})
 }
 
 // HamiltonianNode returns H_k(i): the i-th node of the canonical
@@ -63,13 +66,17 @@ func HamiltonianNode(i uint32, k int) uint32 {
 }
 
 // HamiltonianCycle returns the full node sequence H_k of length 2^k.
-// Consecutive entries (cyclically) differ in exactly one bit.
+// Consecutive entries (cyclically) differ in exactly one bit. The
+// sequence is memoized per k and shared between callers: treat it as
+// read-only and copy before mutating.
 func HamiltonianCycle(k int) []uint32 {
-	seq := make([]uint32, 1<<uint(k))
-	for i := range seq {
-		seq[i] = GrayValue(uint32(i))
-	}
-	return seq
+	return memoized(k, hamCycles, func(k int) []uint32 {
+		seq := make([]uint32, 1<<uint(k))
+		for i := range seq {
+			seq[i] = GrayValue(uint32(i))
+		}
+		return seq
+	})
 }
 
 // TransitionCounts returns, for the k-bit closed Gray sequence G_k, how

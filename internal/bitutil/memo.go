@@ -1,0 +1,39 @@
+package bitutil
+
+import "sync"
+
+// Size-keyed memoization for the Gray-code substrates. The theorem
+// constructors re-derive G_k and H_k for the same handful of subcube
+// dimensions on every call (and the metric benchmarks construct
+// embeddings in tight loops), so the sequences are computed once per k
+// and shared.
+//
+// Cached slices are returned to every caller, so they are read-only by
+// contract; callers that need to reorder or rotate must copy first
+// (all current callers only index into them).
+
+var (
+	grayMu    sync.RWMutex
+	graySeqs  = map[int][]int{}
+	hamCycles = map[int][]uint32{}
+)
+
+func memoized[T any](k int, cache map[int][]T, build func(int) []T) []T {
+	grayMu.RLock()
+	s, ok := cache[k]
+	grayMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = build(k)
+	grayMu.Lock()
+	// A concurrent builder may have won the race; keep the first entry
+	// so all callers share one slice.
+	if prev, ok := cache[k]; ok {
+		s = prev
+	} else {
+		cache[k] = s
+	}
+	grayMu.Unlock()
+	return s
+}

@@ -1,0 +1,55 @@
+package bitutil
+
+import (
+	"sync"
+	"testing"
+)
+
+// Memoized sequences must be correct, shared (same backing array on
+// repeated calls), and safe to request concurrently.
+func TestGrayMemoization(t *testing.T) {
+	for k := 1; k <= 10; k++ {
+		seq := GraySequence(k)
+		if len(seq) != 1<<uint(k) {
+			t.Fatalf("k=%d: %d transitions", k, len(seq))
+		}
+		for j, d := range seq {
+			if want := GrayTransition(uint32(j), k); d != want {
+				t.Fatalf("k=%d j=%d: %d want %d", k, j, d, want)
+			}
+		}
+		if again := GraySequence(k); &again[0] != &seq[0] {
+			t.Errorf("k=%d: GraySequence not shared across calls", k)
+		}
+		cyc := HamiltonianCycle(k)
+		for i, v := range cyc {
+			if want := GrayValue(uint32(i)); v != want {
+				t.Fatalf("k=%d i=%d: %d want %d", k, i, v, want)
+			}
+		}
+		if again := HamiltonianCycle(k); &again[0] != &cyc[0] {
+			t.Errorf("k=%d: HamiltonianCycle not shared across calls", k)
+		}
+	}
+}
+
+func TestGrayMemoizationConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 1; k <= 12; k++ {
+				if len(GraySequence(k)) != 1<<uint(k) {
+					t.Errorf("k=%d: bad length", k)
+					return
+				}
+				if len(HamiltonianCycle(k)) != 1<<uint(k) {
+					t.Errorf("k=%d: bad length", k)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"sync/atomic"
+
+	"multipath/internal/netsim"
 )
 
 // Packet-cost measurement under the paper's model: in one time unit
@@ -14,33 +16,45 @@ import (
 // packets cross the same directed host edge in the same step, the cost
 // is the maximum path length; otherwise an error describes the first
 // collision.
+//
+// The check runs step by step over the cached routes: a pooled counter
+// slice claims each step's host edges in parallel, then a second pass
+// re-zeroes exactly the claimed entries. A collision falls back to the
+// reference implementation for the original error message.
 func (e *Embedding) SynchronizedCost() (int, error) {
-	type slot struct {
-		edge, step int
+	rc, err := e.routes()
+	if err != nil {
+		return e.SynchronizedCostReference()
 	}
-	seen := make(map[slot][2]int) // -> (guest edge, path index)
-	cost := 0
-	for i, ps := range e.Paths {
-		for j, p := range ps {
-			ids, err := e.Host.PathEdgeIDs(p)
-			if err != nil {
-				return 0, err
-			}
-			if len(ids) > cost {
-				cost = len(ids)
-			}
-			for t, id := range ids {
-				s := slot{id, t}
-				if prev, dup := seen[s]; dup {
-					ed := e.Host.EdgeOf(id)
-					return 0, fmt.Errorf("core: step %d: host edge (%d,dim %d) claimed by guest edge %d path %d and guest edge %d path %d",
-						t+1, ed.From, ed.Dim, prev[0], prev[1], i, j)
+	totalPaths := len(rc.pathOff) - 1
+	cp := getCounts(e.Host.DirectedEdges())
+	defer putCounts(cp)
+	counts := *cp
+	var collide atomic.Bool
+	for t := 0; t < rc.maxLen && !collide.Load(); t++ {
+		parallelFor(totalPaths, 256, func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				at := rc.pathOff[p] + int32(t)
+				if at < rc.pathOff[p+1] {
+					if atomic.AddInt32(&counts[rc.ids[at]], 1) == 2 {
+						collide.Store(true)
+					}
 				}
-				seen[s] = [2]int{i, j}
 			}
-		}
+		})
+		parallelFor(totalPaths, 256, func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				at := rc.pathOff[p] + int32(t)
+				if at < rc.pathOff[p+1] {
+					atomic.StoreInt32(&counts[rc.ids[at]], 0)
+				}
+			}
+		})
 	}
-	return cost, nil
+	if collide.Load() {
+		return e.SynchronizedCostReference()
+	}
+	return rc.maxLen, nil
 }
 
 // PPacketCost simulates one phase in which every guest edge carries p
@@ -49,6 +63,13 @@ func (e *Embedding) SynchronizedCost() (int, error) {
 // packet per step (FIFO by arrival, ties broken by injection order).
 // It returns the number of steps until every packet is delivered.
 //
+// The simulation itself is the pooled netsim engine: each packet is a
+// one-flit store-and-forward message over its path's cached edge ids.
+// The engine's contention rule — FIFO by arrival step, same-step ties
+// by message id — reproduces the injection-order tie-break exactly (see
+// TestPPacketCostTieBreak and the equivalence tests against the
+// retired built-in simulator).
+//
 // This is the measured counterpart of the paper's p-packet cost: for
 // Theorem 1's embedding PPacketCost(⌊n/2⌋) = 3, and for the classical
 // Gray-code embedding PPacketCost(m) = m.
@@ -56,77 +77,97 @@ func (e *Embedding) PPacketCost(p int) (int, error) {
 	if p < 1 {
 		return 0, fmt.Errorf("core: p must be positive")
 	}
-	type packet struct {
-		route []int // dense host edge ids
-		pos   int   // next edge to traverse
-		ready int   // step after which it may next move
+	msgs, err := e.packetMessages(p)
+	if err != nil {
+		return 0, err
 	}
-	var pkts []*packet
-	for _, ps := range e.Paths {
-		routes := make([][]int, len(ps))
-		for j, path := range ps {
-			ids, err := e.Host.PathEdgeIDs(path)
-			if err != nil {
-				return 0, err
-			}
-			routes[j] = ids
+	res, err := netsim.Simulate(msgs, netsim.StoreAndForward)
+	if err != nil {
+		return 0, fmt.Errorf("core: packet simulation: %w", err)
+	}
+	return res.Steps, nil
+}
+
+// PPacketCosts measures PPacketCost for every p in ps with one
+// netsim.SimulateBatch call, fanning the independent simulations out
+// across GOMAXPROCS pooled engines. Results are identical to calling
+// PPacketCost serially for each p.
+func (e *Embedding) PPacketCosts(ps []int) ([]int, error) {
+	for _, p := range ps {
+		if p < 1 {
+			return nil, fmt.Errorf("core: p must be positive")
+		}
+	}
+	jobs := make([]netsim.BatchJob, len(ps))
+	for k, p := range ps {
+		msgs, err := e.packetMessages(p)
+		if err != nil {
+			return nil, err
+		}
+		jobs[k] = netsim.BatchJob{Msgs: msgs, Mode: netsim.StoreAndForward}
+	}
+	results, err := netsim.SimulateBatch(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("core: packet simulation: %w", err)
+	}
+	costs := make([]int, len(ps))
+	for k, r := range results {
+		costs[k] = r.Steps
+	}
+	return costs, nil
+}
+
+// packetMessages builds the p-packet workload: for each guest edge, p
+// one-flit messages spread round-robin over the edge's paths in path
+// order, skipping zero-length routes (co-located endpoints deliver at
+// cost 0). Message order is injection order, which is what the engine
+// uses to break same-step ties. Routes alias one shared arena so the
+// whole workload costs two allocations beyond the message headers.
+func (e *Embedding) packetMessages(p int) ([]*netsim.Message, error) {
+	rc, err := e.routes()
+	if err != nil {
+		return nil, err
+	}
+	// Count messages and route ints first so the arena is exact.
+	nMsgs, nInts := 0, 0
+	for i := range e.Paths {
+		first, past := rc.edgeOff[i], rc.edgeOff[i+1]
+		if first == past {
+			continue
 		}
 		for k := 0; k < p; k++ {
-			r := routes[k%len(routes)]
-			if len(r) == 0 {
-				continue // co-located endpoints: delivered at cost 0
+			pi := first + int32(k)%(past-first)
+			if l := int(rc.pathOff[pi+1] - rc.pathOff[pi]); l > 0 {
+				nMsgs++
+				nInts += l
 			}
-			pkts = append(pkts, &packet{route: r})
 		}
 	}
-	// queues[edge] holds the indices of packets waiting to cross it.
-	queues := make(map[int][]int)
-	for i, pk := range pkts {
-		queues[pk.route[0]] = append(queues[pk.route[0]], i)
-	}
-	remaining := len(pkts)
-	step := 0
-	for remaining > 0 {
-		step++
-		if step > 4*(len(pkts)+16) {
-			return 0, fmt.Errorf("core: packet simulation did not converge")
+	arena := make([]int, nInts)
+	msgs := make([]*netsim.Message, 0, nMsgs)
+	hdrs := make([]netsim.Message, nMsgs)
+	at := 0
+	for i := range e.Paths {
+		first, past := rc.edgeOff[i], rc.edgeOff[i+1]
+		if first == past {
+			continue
 		}
-		// Deterministic iteration order over occupied edges.
-		edges := make([]int, 0, len(queues))
-		for id := range queues {
-			edges = append(edges, id)
-		}
-		sort.Ints(edges)
-		for _, id := range edges {
-			q := queues[id]
-			// Find the first packet that is allowed to move this step
-			// (arrived before this step began).
-			sel := -1
-			for qi, pi := range q {
-				if pkts[pi].ready < step {
-					sel = qi
-					break
-				}
-			}
-			if sel < 0 {
+		for k := 0; k < p; k++ {
+			pi := first + int32(k)%(past-first)
+			ids := rc.pathIDs(pi)
+			if len(ids) == 0 {
 				continue
 			}
-			pi := q[sel]
-			queues[id] = append(q[:sel:sel], q[sel+1:]...)
-			if len(queues[id]) == 0 {
-				delete(queues, id)
+			route := arena[at : at+len(ids)]
+			for x, id := range ids {
+				route[x] = int(id)
 			}
-			pk := pkts[pi]
-			pk.pos++
-			pk.ready = step
-			if pk.pos == len(pk.route) {
-				remaining--
-			} else {
-				queues[pk.route[pk.pos]] = append(queues[pk.route[pk.pos]], pi)
-			}
+			at += len(ids)
+			hdrs[len(msgs)] = netsim.Message{Route: route, Flits: 1}
+			msgs = append(msgs, &hdrs[len(msgs)])
 		}
 	}
-	return step, nil
+	return msgs, nil
 }
 
 // OnePacketCostBounds returns the §3 sandwich for the one-packet cost:

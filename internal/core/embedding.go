@@ -8,10 +8,18 @@
 // Constructors in other packages (Theorem 1, Theorem 2, Theorem 3, ...)
 // return these structures; tests never trust a constructor's claimed
 // metrics but re-derive them here.
+//
+// The verifiers share a dense route cache (see routecache.go): every
+// path's host-edge ids are computed once into a flat int32 arena, and
+// the metrics run as parallel passes over it with pooled scratch, so a
+// warm verification allocates almost nothing. The original map-based
+// verifiers survive in reference.go as golden models.
 package core
 
 import (
 	"fmt"
+	"slices"
+	"sync/atomic"
 
 	"multipath/internal/graph"
 	"multipath/internal/hypercube"
@@ -28,11 +36,16 @@ type Path []hypercube.Node
 // the set of host paths assigned to the i-th guest edge (parallel to
 // Guest.Edges()). A classical embedding has exactly one path per edge;
 // a width-w multiple-path embedding has w edge-disjoint paths per edge.
+//
+// Embeddings may be mutated freely between metric calls: the cached
+// route form is fingerprinted and rebuilt when the paths change.
 type Embedding struct {
 	Host      *hypercube.Q
 	Guest     *graph.Graph
 	VertexMap []hypercube.Node
 	Paths     [][]Path
+
+	rc *routeCache // dense route form; nil until first metric call
 }
 
 // Validate checks structural integrity: vertex map in range, one path
@@ -50,24 +63,29 @@ func (e *Embedding) Validate() error {
 	if len(e.Paths) != e.Guest.M() {
 		return fmt.Errorf("embedding: %d path sets for %d guest edges", len(e.Paths), e.Guest.M())
 	}
-	for i, ps := range e.Paths {
-		ge := e.Guest.Edge(i)
-		from, to := e.VertexMap[ge.U], e.VertexMap[ge.V]
-		if len(ps) == 0 {
-			return fmt.Errorf("embedding: guest edge %d has no paths", i)
+	if _, err := e.routes(); err != nil {
+		return e.validateReference()
+	}
+	var bad atomic.Bool
+	parallelFor(len(e.Paths), 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ps := e.Paths[i]
+			if len(ps) == 0 {
+				bad.Store(true)
+				return
+			}
+			ge := e.Guest.Edge(i)
+			from, to := e.VertexMap[ge.U], e.VertexMap[ge.V]
+			for _, p := range ps {
+				if p[0] != from || p[len(p)-1] != to {
+					bad.Store(true)
+					return
+				}
+			}
 		}
-		for j, p := range ps {
-			if len(p) == 0 {
-				return fmt.Errorf("embedding: guest edge %d path %d empty", i, j)
-			}
-			if _, err := e.Host.CheckPath(p); err != nil {
-				return fmt.Errorf("embedding: guest edge %d path %d: %w", i, j, err)
-			}
-			if p[0] != from || p[len(p)-1] != to {
-				return fmt.Errorf("embedding: guest edge %d path %d connects %d→%d, want %d→%d",
-					i, j, p[0], p[len(p)-1], from, to)
-			}
-		}
+	})
+	if bad.Load() {
+		return e.validateReference()
 	}
 	return nil
 }
@@ -122,26 +140,45 @@ func (e *Embedding) MinDilation() int {
 // Width verifies that every guest edge's paths are pairwise
 // edge-disjoint and returns the minimum number of paths assigned to any
 // guest edge. An error identifies the first overlap found.
+//
+// The check runs in parallel over guest edges: each worker sorts the
+// edge's cached ids into pooled scratch and scans for an adjacent
+// duplicate, so no per-call maps are built. On any violation the
+// reference implementation re-derives the exact original error.
 func (e *Embedding) Width() (int, error) {
-	width := -1
-	for i, ps := range e.Paths {
-		seen := make(map[int]int)
-		for j, p := range ps {
-			ids, err := e.Host.PathEdgeIDs(p)
-			if err != nil {
-				return 0, fmt.Errorf("embedding: guest edge %d path %d: %w", i, j, err)
+	rc, err := e.routes()
+	if err != nil {
+		return e.WidthReference()
+	}
+	m := len(e.Paths)
+	var dup atomic.Bool
+	parallelFor(m, 16, func(lo, hi int) {
+		sp := getScratch(64)
+		defer putScratch(sp)
+		for i := lo; i < hi; i++ {
+			ids := rc.edgeIDs(i)
+			if len(ids) < 2 {
+				continue
 			}
-			for _, id := range ids {
-				if prev, dup := seen[id]; dup {
-					ed := e.Host.EdgeOf(id)
-					return 0, fmt.Errorf("embedding: guest edge %d: paths %d and %d share host edge (%d,dim %d)",
-						i, prev, j, ed.From, ed.Dim)
+			s := append((*sp)[:0], ids...)
+			slices.Sort(s)
+			for k := 1; k < len(s); k++ {
+				if s[k] == s[k-1] {
+					dup.Store(true)
+					*sp = s
+					return
 				}
-				seen[id] = j
 			}
+			*sp = s
 		}
-		if width < 0 || len(ps) < width {
-			width = len(ps)
+	})
+	if dup.Load() {
+		return e.WidthReference()
+	}
+	width := -1
+	for i := 0; i < m; i++ {
+		if c := int(rc.edgeOff[i+1] - rc.edgeOff[i]); width < 0 || c < width {
+			width = c
 		}
 	}
 	if width < 0 {
@@ -155,48 +192,60 @@ func (e *Embedding) Width() (int, error) {
 // width-w embedding each guest edge contributes at most once per host
 // edge because its paths are edge-disjoint).
 func (e *Embedding) Congestion() (int, error) {
-	counts := make([]int, e.Host.DirectedEdges())
-	for _, ps := range e.Paths {
-		for _, p := range ps {
-			ids, err := e.Host.PathEdgeIDs(p)
-			if err != nil {
-				return 0, err
-			}
-			for _, id := range ids {
-				counts[id]++
-			}
-		}
-	}
-	max := 0
-	for _, c := range counts {
-		if c > max {
-			max = c
-		}
-	}
-	return max, nil
+	max, _, err := e.edgeCounts()
+	return max, err
 }
 
 // LinkUtilization returns the fraction of directed host edges used by
 // at least one path. Theorem 1 uses about half the links; Theorem 2
 // with n ≡ 0 (mod 4) uses all of them.
 func (e *Embedding) LinkUtilization() (float64, error) {
-	counts := make([]bool, e.Host.DirectedEdges())
-	used := 0
-	for _, ps := range e.Paths {
-		for _, p := range ps {
-			ids, err := e.Host.PathEdgeIDs(p)
-			if err != nil {
-				return 0, err
-			}
-			for _, id := range ids {
-				if !counts[id] {
-					counts[id] = true
-					used++
+	_, used, err := e.edgeCounts()
+	if err != nil {
+		return 0, err
+	}
+	return float64(used) / float64(e.Host.DirectedEdges()), nil
+}
+
+// edgeCounts makes one parallel pass over the id arena with a pooled
+// counter slice, returning the maximum count on any directed host edge
+// and the number of distinct edges used. The counter is re-zeroed by a
+// second pass over the same arena (atomic swap: the first visit to an
+// entry reads its count and clears it, later visits read zero), so the
+// pooled slice keeps its all-zero invariant without an O(edges) sweep.
+func (e *Embedding) edgeCounts() (max, used int, err error) {
+	rc, err := e.routes()
+	if err != nil {
+		return 0, 0, err
+	}
+	cp := getCounts(e.Host.DirectedEdges())
+	defer putCounts(cp)
+	counts := *cp
+	parallelFor(len(rc.ids), 4096, func(lo, hi int) {
+		for _, id := range rc.ids[lo:hi] {
+			atomic.AddInt32(&counts[id], 1)
+		}
+	})
+	var maxA, usedA int64
+	parallelFor(len(rc.ids), 4096, func(lo, hi int) {
+		localMax, localUsed := int64(0), int64(0)
+		for _, id := range rc.ids[lo:hi] {
+			if c := int64(atomic.SwapInt32(&counts[id], 0)); c > 0 {
+				localUsed++
+				if c > localMax {
+					localMax = c
 				}
 			}
 		}
-	}
-	return float64(used) / float64(e.Host.DirectedEdges()), nil
+		atomic.AddInt64(&usedA, localUsed)
+		for {
+			old := atomic.LoadInt64(&maxA)
+			if localMax <= old || atomic.CompareAndSwapInt64(&maxA, old, localMax) {
+				break
+			}
+		}
+	})
+	return int(maxA), int(usedA), nil
 }
 
 // OneToOne reports whether the vertex map is injective.

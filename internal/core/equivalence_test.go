@@ -1,0 +1,252 @@
+package core_test
+
+// Equivalence tests pinning the dense metric engine to the retired
+// implementations. ppacketCostGolden below is the package's original
+// store-and-forward simulator, kept verbatim (over the public
+// PathEdgeIDs API): PPacketCost now routes through the pooled netsim
+// engine, and these tests prove the swap preserved every cost on the
+// paper's constructions before the old simulator was deleted.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"multipath/internal/core"
+	"multipath/internal/cycles"
+	"multipath/internal/hamdecomp"
+	"multipath/internal/hypercube"
+	"multipath/internal/xproduct"
+)
+
+// ppacketCostGolden is the original PPacketCost: a private greedy
+// store-and-forward simulator — FIFO queues per directed edge, ties by
+// injection order, deterministic ascending-edge iteration per step.
+func ppacketCostGolden(e *core.Embedding, p int) (int, error) {
+	if p < 1 {
+		return 0, fmt.Errorf("core: p must be positive")
+	}
+	type packet struct {
+		route []int // dense host edge ids
+		pos   int   // next edge to traverse
+		ready int   // step after which it may next move
+	}
+	var pkts []*packet
+	for _, ps := range e.Paths {
+		routes := make([][]int, len(ps))
+		for j, path := range ps {
+			ids, err := e.Host.PathEdgeIDs(path)
+			if err != nil {
+				return 0, err
+			}
+			routes[j] = ids
+		}
+		for k := 0; k < p; k++ {
+			r := routes[k%len(routes)]
+			if len(r) == 0 {
+				continue // co-located endpoints: delivered at cost 0
+			}
+			pkts = append(pkts, &packet{route: r})
+		}
+	}
+	queues := make(map[int][]int)
+	for i, pk := range pkts {
+		queues[pk.route[0]] = append(queues[pk.route[0]], i)
+	}
+	remaining := len(pkts)
+	step := 0
+	for remaining > 0 {
+		step++
+		if step > 4*(len(pkts)+16) {
+			return 0, fmt.Errorf("core: packet simulation did not converge")
+		}
+		edges := make([]int, 0, len(queues))
+		for id := range queues {
+			edges = append(edges, id)
+		}
+		sort.Ints(edges)
+		for _, id := range edges {
+			q := queues[id]
+			sel := -1
+			for qi, pi := range q {
+				if pkts[pi].ready < step {
+					sel = qi
+					break
+				}
+			}
+			if sel < 0 {
+				continue
+			}
+			pi := q[sel]
+			queues[id] = append(q[:sel:sel], q[sel+1:]...)
+			if len(queues[id]) == 0 {
+				delete(queues, id)
+			}
+			pk := pkts[pi]
+			pk.pos++
+			pk.ready = step
+			if pk.pos == len(pk.route) {
+				remaining--
+			} else {
+				queues[pk.route[pk.pos]] = append(queues[pk.route[pk.pos]], pi)
+			}
+		}
+	}
+	return step, nil
+}
+
+// equivalenceEmbeddings builds the constructions the acceptance
+// criteria name: Theorem 1, Theorem 2, Theorem 4, plus the classical
+// Gray-code embedding as the high-contention case (cost m under p=m).
+func equivalenceEmbeddings(t *testing.T) map[string]*core.Embedding {
+	t.Helper()
+	out := map[string]*core.Embedding{}
+	e1, err := cycles.Theorem1(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["theorem1-n8"] = e1
+	e2, err := cycles.Theorem2(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["theorem2-n8"] = e2
+	dec, err := hamdecomp.Decompose(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := hypercube.New(4)
+	var copies []*core.Embedding
+	for _, cyc := range dec.Directed() {
+		c, err := core.DirectCycleEmbedding(q, cyc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copies = append(copies, c)
+	}
+	_, e4, err := xproduct.Theorem4(copies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["theorem4-a4"] = e4
+	g, err := cycles.GrayCode(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["graycode-k6"] = g
+	return out
+}
+
+// TestPPacketCostMatchesRetiredSimulator pins the netsim-backed
+// PPacketCost to the retired private simulator across the paper's
+// constructions and a range of packet counts, including p above and
+// below the per-edge path count.
+func TestPPacketCostMatchesRetiredSimulator(t *testing.T) {
+	for name, e := range equivalenceEmbeddings(t) {
+		for _, p := range []int{1, 2, 3, 4, 6, 9} {
+			want, err := ppacketCostGolden(e, p)
+			if err != nil {
+				t.Fatalf("%s p=%d: golden: %v", name, p, err)
+			}
+			got, err := e.PPacketCost(p)
+			if err != nil {
+				t.Fatalf("%s p=%d: %v", name, p, err)
+			}
+			if got != want {
+				t.Errorf("%s: PPacketCost(%d) = %d, retired simulator gave %d", name, p, got, want)
+			}
+		}
+	}
+}
+
+// TestPPacketCostsBatchMatchesSerial pins the SimulateBatch-backed
+// sweep to the one-at-a-time calls.
+func TestPPacketCostsBatchMatchesSerial(t *testing.T) {
+	ps := []int{1, 2, 3, 5, 8}
+	for name, e := range equivalenceEmbeddings(t) {
+		batch, err := e.PPacketCosts(ps)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for k, p := range ps {
+			want, err := e.PPacketCost(p)
+			if err != nil {
+				t.Fatalf("%s p=%d: %v", name, p, err)
+			}
+			if batch[k] != want {
+				t.Errorf("%s: PPacketCosts[%d]=%d, PPacketCost(%d)=%d", name, k, batch[k], p, want)
+			}
+		}
+	}
+	if e, err := cycles.GrayCode(4); err != nil {
+		t.Fatal(err)
+	} else if _, err := e.PPacketCosts([]int{1, 0}); err == nil {
+		t.Error("PPacketCosts accepted p=0")
+	}
+}
+
+// TestDenseMetricsMatchReference pins the parallel dense Width and
+// SynchronizedCost to the retained map-based reference implementations
+// on every construction, on both warm and cold caches.
+func TestDenseMetricsMatchReference(t *testing.T) {
+	for name, e := range equivalenceEmbeddings(t) {
+		for round := 0; round < 2; round++ { // cold, then warm
+			wRef, errRef := e.WidthReference()
+			w, err := e.Width()
+			if (err == nil) != (errRef == nil) || w != wRef {
+				t.Errorf("%s round %d: Width = (%d, %v), reference (%d, %v)", name, round, w, err, wRef, errRef)
+			}
+			cRef, errRef := e.SynchronizedCostReference()
+			c, err := e.SynchronizedCost()
+			if (err == nil) != (errRef == nil) || c != cRef {
+				t.Errorf("%s round %d: SynchronizedCost = (%d, %v), reference (%d, %v)", name, round, c, err, cRef, errRef)
+			}
+		}
+	}
+}
+
+// TestDenseMetricsMatchReferenceOnViolations mutates an embedding in
+// place and checks the dense engine both notices the change (cache
+// invalidation by fingerprint) and reports the byte-identical error the
+// reference produces.
+func TestDenseMetricsMatchReferenceOnViolations(t *testing.T) {
+	e, err := cycles.Theorem1(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Width(); err != nil { // warm the cache
+		t.Fatal(err)
+	}
+	// Overwrite one path with a copy of its neighbor: same guest edge,
+	// shared host edges.
+	saved := e.Paths[0][1]
+	e.Paths[0][1] = e.Paths[0][0]
+	_, err = e.Width()
+	_, errRef := e.WidthReference()
+	if err == nil || errRef == nil || err.Error() != errRef.Error() {
+		t.Errorf("Width overlap:\n dense:     %v\n reference: %v", err, errRef)
+	}
+	_, err = e.SynchronizedCost()
+	_, errRef = e.SynchronizedCostReference()
+	if err == nil || errRef == nil || err.Error() != errRef.Error() {
+		t.Errorf("SynchronizedCost collision:\n dense:     %v\n reference: %v", err, errRef)
+	}
+	e.Paths[0][1] = saved
+	if _, err := e.Width(); err != nil {
+		t.Errorf("restored embedding rejected: %v", err)
+	}
+	// In-place single-node corruption (not a fresh slice): breaks
+	// adjacency, must be caught by the fingerprint.
+	old := e.Paths[2][0][0]
+	e.Paths[2][0][0] ^= 0x55
+	if err := e.Validate(); err == nil {
+		t.Error("Validate accepted corrupted path")
+	}
+	if _, err := e.Width(); err == nil {
+		t.Error("Width accepted corrupted path")
+	}
+	e.Paths[2][0][0] = old
+	if err := e.Validate(); err != nil {
+		t.Errorf("restored embedding rejected: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"multipath/internal/hypercube"
 )
@@ -40,28 +41,50 @@ func (m *MultiCopy) Validate() error {
 
 // EdgeCongestion returns the maximum, over directed host edges, of the
 // total number of guest-edge paths (across all copies) using that edge.
+//
+// Counts accumulate across every copy's cached routes into one pooled
+// counter slice; the max-scan then re-zeroes exactly the touched
+// entries (atomic swap, first visit wins) so warm calls allocate
+// nothing.
 func (m *MultiCopy) EdgeCongestion() (int, error) {
-	counts := make([]int, m.Host.DirectedEdges())
+	rcs := make([]*routeCache, len(m.Copies))
 	for k, c := range m.Copies {
-		for _, ps := range c.Paths {
-			for _, p := range ps {
-				ids, err := m.Host.PathEdgeIDs(p)
-				if err != nil {
-					return 0, fmt.Errorf("multicopy: copy %d: %w", k, err)
-				}
-				for _, id := range ids {
-					counts[id]++
+		rc, err := c.routes()
+		if err != nil {
+			return 0, fmt.Errorf("multicopy: copy %d: %w", k, err)
+		}
+		rcs[k] = rc
+	}
+	cp := getCounts(m.Host.DirectedEdges())
+	defer putCounts(cp)
+	counts := *cp
+	for _, rc := range rcs {
+		ids := rc.ids
+		parallelFor(len(ids), 4096, func(lo, hi int) {
+			for _, id := range ids[lo:hi] {
+				atomic.AddInt32(&counts[id], 1)
+			}
+		})
+	}
+	var maxA int64
+	for _, rc := range rcs {
+		ids := rc.ids
+		parallelFor(len(ids), 4096, func(lo, hi int) {
+			localMax := int64(0)
+			for _, id := range ids[lo:hi] {
+				if c := int64(atomic.SwapInt32(&counts[id], 0)); c > localMax {
+					localMax = c
 				}
 			}
-		}
+			for {
+				old := atomic.LoadInt64(&maxA)
+				if localMax <= old || atomic.CompareAndSwapInt64(&maxA, old, localMax) {
+					break
+				}
+			}
+		})
 	}
-	max := 0
-	for _, c := range counts {
-		if c > max {
-			max = c
-		}
-	}
-	return max, nil
+	return int(maxA), nil
 }
 
 // Dilation returns the maximum dilation over all copies.

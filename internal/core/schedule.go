@@ -19,12 +19,19 @@ type Launch struct {
 // (2k+2)-packet cost 3 schedule sends a second packet down each direct
 // edge at step 3, a slot the greedy simulator of PPacketCost does not
 // discover on its own.
+//
+// Path ids come from the shared route cache; the occupancy map packs
+// (edge, step) into one int64 key, so the check costs one map insert
+// per packet-hop and no per-path id derivation.
 func (e *Embedding) ScheduleCost(launches [][]Launch) (int, error) {
 	if len(launches) != len(e.Paths) {
 		return 0, fmt.Errorf("core: %d launch sets for %d guest edges", len(launches), len(e.Paths))
 	}
-	type slot struct{ edge, step int }
-	seen := make(map[slot][2]int)
+	rc, err := e.routes()
+	if err != nil {
+		return 0, err
+	}
+	seen := make(map[int64][2]int32) // edge<<32|step -> (guest edge, launch index)
 	cost := 0
 	for i, ls := range launches {
 		for li, l := range ls {
@@ -34,18 +41,15 @@ func (e *Embedding) ScheduleCost(launches [][]Launch) (int, error) {
 			if l.Start < 0 {
 				return 0, fmt.Errorf("core: guest edge %d launch %d: negative start", i, li)
 			}
-			ids, err := e.Host.PathEdgeIDs(e.Paths[i][l.Path])
-			if err != nil {
-				return 0, err
-			}
+			ids := rc.pathIDs(rc.edgeOff[i] + int32(l.Path))
 			for t, id := range ids {
-				s := slot{id, l.Start + t}
-				if prev, dup := seen[s]; dup {
-					ed := e.Host.EdgeOf(id)
+				key := int64(id)<<32 | int64(l.Start+t)
+				if prev, dup := seen[key]; dup {
+					ed := e.Host.EdgeOf(int(id))
 					return 0, fmt.Errorf("core: step %d: host edge (%d,dim %d) claimed by guest edge %d and guest edge %d",
 						l.Start+t+1, ed.From, ed.Dim, prev[0], i)
 				}
-				seen[s] = [2]int{i, li}
+				seen[key] = [2]int32{int32(i), int32(li)}
 			}
 			if end := l.Start + len(ids); end > cost {
 				cost = end

@@ -5,27 +5,43 @@ package core
 // fraction of directed host edges that carry a packet at step t+1.
 // Theorem 1 keeps roughly half the links busy at each of its three
 // steps; Theorem 2 with n ≡ 0 (mod 4) keeps all of them busy.
+//
+// Distinct edges per step are counted in a pooled flat bitset keyed by
+// dense host-edge id; after each step the pass clears exactly the bits
+// it set, so one bitset serves every step with no per-step allocation.
 func (e *Embedding) StepUtilization() ([]float64, error) {
-	steps := e.Dilation()
-	used := make([]map[int]bool, steps)
-	for t := range used {
-		used[t] = make(map[int]bool)
+	rc, err := e.routes()
+	if err != nil {
+		return nil, err
 	}
-	for _, ps := range e.Paths {
-		for _, p := range ps {
-			ids, err := e.Host.PathEdgeIDs(p)
-			if err != nil {
-				return nil, err
-			}
-			for t, id := range ids {
-				used[t][id] = true
-			}
-		}
-	}
+	steps := rc.maxLen
+	bp := getBitset(e.Host.DirectedEdges())
+	defer putBitset(bp)
+	bits := *bp
+	totalPaths := len(rc.pathOff) - 1
 	total := float64(e.Host.DirectedEdges())
 	out := make([]float64, steps)
-	for t := range out {
-		out[t] = float64(len(used[t])) / total
+	for t := 0; t < steps; t++ {
+		used := 0
+		for p := 0; p < totalPaths; p++ {
+			at := rc.pathOff[p] + int32(t)
+			if at >= rc.pathOff[p+1] {
+				continue
+			}
+			id := rc.ids[at]
+			if bits[id>>6]&(1<<(uint(id)&63)) == 0 {
+				bits[id>>6] |= 1 << (uint(id) & 63)
+				used++
+			}
+		}
+		out[t] = float64(used) / total
+		for p := 0; p < totalPaths; p++ {
+			at := rc.pathOff[p] + int32(t)
+			if at < rc.pathOff[p+1] {
+				id := rc.ids[at]
+				bits[id>>6] &^= 1 << (uint(id) & 63)
+			}
+		}
 	}
 	return out, nil
 }

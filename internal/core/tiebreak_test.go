@@ -1,0 +1,115 @@
+package core_test
+
+// Hand-computed regression tests pinning PPacketCost's contention
+// discipline: each directed host edge serves packets FIFO by arrival
+// step, with same-step ties broken by injection order (guest edge
+// order, then path round-robin order). The scenarios are small enough
+// to trace by hand and are constructed so that any other discipline
+// yields a different total cost.
+
+import (
+	"testing"
+
+	"multipath/internal/core"
+	"multipath/internal/graph"
+	"multipath/internal/hypercube"
+)
+
+// tiebreakEmbedding builds a Q_3 embedding with one single-path guest
+// edge per entry of paths, in order.
+func tiebreakEmbedding(t *testing.T, paths []core.Path) *core.Embedding {
+	t.Helper()
+	g := graph.New(2 * len(paths))
+	vm := make([]hypercube.Node, 2*len(paths))
+	e := &core.Embedding{Host: hypercube.New(3), Guest: g, VertexMap: vm}
+	for i, p := range paths {
+		g.AddEdge(int32(2*i), int32(2*i+1))
+		vm[2*i], vm[2*i+1] = p[0], p[len(p)-1]
+		e.Paths = append(e.Paths, []core.Path{p})
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestPPacketCostTieBreakInjectionOrder: two packets start queued on
+// the same directed edge 0→1 at step 1. Injection order says the
+// short, earlier-injected packet (guest edge 0) crosses first:
+//
+//	step 1: pkt0 crosses 0→1 (done);   pkt1 waits
+//	step 2: pkt1 crosses 0→1
+//	step 3: pkt1 crosses 1→3 (done)    → cost 3
+//
+// Serving pkt1 first instead would finish everything in 2 steps, so
+// cost 3 is witnessed only by the injection-order tie-break.
+func TestPPacketCostTieBreakInjectionOrder(t *testing.T) {
+	e := tiebreakEmbedding(t, []core.Path{
+		{0, 1},
+		{0, 1, 3},
+	})
+	got, err := e.PPacketCost(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("PPacketCost(1) = %d, want 3 (injection-order tie-break)", got)
+	}
+}
+
+// TestPPacketCostFIFOByArrival: three packets contend for edge 0→1.
+// pkt1 and pkt2 start there (arrival step 0); pkt0 — the lowest
+// injection id — arrives only at step 1 after crossing 2→0:
+//
+//	step 1: pkt1 crosses 0→1 (tie with pkt2 → injection order);
+//	        pkt0 crosses 2→0, joins the 0→1 queue
+//	step 2: pkt2 crosses 0→1 (arrived step 0, beats pkt0's step 1
+//	        even though pkt0 has the lower id); pkt1 crosses 1→3 (done)
+//	step 3: pkt0 crosses 0→1 (done); pkt2 crosses 1→5 (done) → cost 3
+//
+// A discipline preferring the lower id over the earlier arrival would
+// send pkt0 at step 2 and finish pkt2 only at step 4.
+func TestPPacketCostFIFOByArrival(t *testing.T) {
+	e := tiebreakEmbedding(t, []core.Path{
+		{2, 0, 1},
+		{0, 1, 3},
+		{0, 1, 5},
+	})
+	got, err := e.PPacketCost(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("PPacketCost(1) = %d, want 3 (FIFO by arrival step)", got)
+	}
+}
+
+// TestPPacketCostRoundRobinOverPaths: one guest edge, two disjoint
+// paths of lengths 1 and 3, p = 3 packets. Round-robin assigns packets
+// 0 and 2 to the short path and packet 1 to the long one:
+//
+//	step 1: pkt0 crosses 0→1 (done); pkt1 crosses 0→2
+//	step 2: pkt2 crosses 0→1 (done); pkt1 crosses 2→3
+//	step 3: pkt1 crosses 3→1 (done)                     → cost 3
+//
+// Assigning two packets to the long path instead would cost 4.
+func TestPPacketCostRoundRobinOverPaths(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	e := &core.Embedding{
+		Host:      hypercube.New(3),
+		Guest:     g,
+		VertexMap: []hypercube.Node{0, 1},
+		Paths:     [][]core.Path{{{0, 1}, {0, 2, 3, 1}}},
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.PPacketCost(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("PPacketCost(3) = %d, want 3 (round-robin path assignment)", got)
+	}
+}

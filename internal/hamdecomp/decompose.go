@@ -2,6 +2,7 @@ package hamdecomp
 
 import (
 	"fmt"
+	"sync"
 
 	"multipath/internal/bitutil"
 	"multipath/internal/hypercube"
@@ -22,12 +23,38 @@ type Decomposition struct {
 	Matching [][2]hypercube.Node // nil for even n
 }
 
+// decompCache memoizes Decompose per dimension. Construction plus
+// exhaustive verification is by far the most expensive substrate the
+// theorem constructors share (seconds at n ≥ 16), and every theorem
+// family re-derives the same handful of subcube dimensions. Each size
+// is built at most once, behind its own sync.Once so concurrent
+// requests for different sizes do not serialize. Only successes are
+// cached; the n < 2 error path never reaches the cache.
+var decompCache sync.Map // int -> *decompEntry
+
+type decompEntry struct {
+	once sync.Once
+	d    *Decomposition
+	err  error
+}
+
 // Decompose constructs and verifies the Hamiltonian decomposition of
-// Q_n for n ≥ 2. Results are deterministic.
+// Q_n for n ≥ 2. Results are deterministic, memoized per n, and shared
+// between callers: treat the returned decomposition as read-only (use
+// Directed for orientation copies, or copy the cycle slices before
+// mutating).
 func Decompose(n int) (*Decomposition, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("hamdecomp: Q_%d has no Hamiltonian decomposition", n)
 	}
+	v, _ := decompCache.LoadOrStore(n, &decompEntry{})
+	e := v.(*decompEntry)
+	e.once.Do(func() { e.d, e.err = decompose(n) })
+	return e.d, e.err
+}
+
+// decompose is the uncached construction behind Decompose.
+func decompose(n int) (*Decomposition, error) {
 	even := n &^ 1
 	cycles := [][]hypercube.Node{seqOfQ2()}
 	for k := 2; k < even; k += 2 {

@@ -1,0 +1,45 @@
+package hamdecomp
+
+import (
+	"sync"
+	"testing"
+)
+
+// Decompose is memoized: repeated calls return the same verified
+// decomposition, and concurrent callers for mixed sizes all get it.
+func TestDecomposeMemoized(t *testing.T) {
+	first, err := Decompose(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Decompose(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Error("Decompose(6) rebuilt instead of returning the cached decomposition")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, n := range []int{4, 5, 6, 7, 8} {
+				d, err := Decompose(n)
+				if err != nil {
+					t.Errorf("n=%d: %v", n, err)
+					return
+				}
+				if d.N != n || len(d.Cycles) != n/2 {
+					t.Errorf("n=%d: got N=%d with %d cycles", n, d.N, len(d.Cycles))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Errors are not cached as successes.
+	if _, err := Decompose(1); err == nil {
+		t.Error("Decompose(1) accepted")
+	}
+}

@@ -140,5 +140,36 @@ func (q *Q) PathEdgeIDs(p []Node) ([]int, error) {
 	return ids, nil
 }
 
+// FillPathEdgeIDs32 validates path p and writes its dense directed
+// edge ids into dst, which must have length len(p)-1. Ids are stored
+// as int32 — n ≤ 26 keeps every id below 26·2^26 < 2^31 — and nothing
+// is allocated, which is what core's route cache builder needs when it
+// fills one shared arena for millions of paths.
+func (q *Q) FillPathEdgeIDs32(dst []int32, p []Node) error {
+	if len(p) == 0 {
+		return fmt.Errorf("hypercube: empty path")
+	}
+	if len(dst) != len(p)-1 {
+		return fmt.Errorf("hypercube: id buffer holds %d of %d edges", len(dst), len(p)-1)
+	}
+	limit := Node(1) << uint(q.n)
+	if p[0] >= limit {
+		return fmt.Errorf("hypercube: node %d at position 0 outside Q_%d", p[0], q.n)
+	}
+	for i := 0; i+1 < len(p); i++ {
+		u, v := p[i], p[i+1]
+		if v >= limit {
+			return fmt.Errorf("hypercube: node %d at position %d outside Q_%d", v, i+1, q.n)
+		}
+		x := u ^ v
+		if x == 0 || x&(x-1) != 0 {
+			return fmt.Errorf("hypercube: nodes %d and %d are not adjacent", u, v)
+		}
+		d := bits.TrailingZeros32(x)
+		dst[i] = int32(int(u)*q.n + d)
+	}
+	return nil
+}
+
 // String implements fmt.Stringer.
 func (q *Q) String() string { return fmt.Sprintf("Q_%d", q.n) }

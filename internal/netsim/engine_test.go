@@ -5,7 +5,6 @@ import (
 	"reflect"
 	"testing"
 
-	"multipath/internal/cycles"
 	"multipath/internal/hypercube"
 )
 
@@ -43,16 +42,9 @@ func TestEngineMatchesReference(t *testing.T) {
 		loads = append(loads, load{"perm", PermutationMessages(q, perm, 2+3*trial)})
 	}
 
-	e8, err := cycles.Theorem1(8)
-	if err != nil {
-		t.Fatal(err)
-	}
-	wm, err := WidthPathMessages(e8, 32)
-	if err != nil {
-		t.Fatal(err)
-	}
-	loads = append(loads, load{"width-paths", wm})
-
+	// Width-spread embedding paths now come from internal/traffic (which
+	// imports this package); traffic's tests re-run this equivalence
+	// check on that workload class.
 	bm, err := BroadcastMessages(q, 96, true)
 	if err != nil {
 		t.Fatal(err)

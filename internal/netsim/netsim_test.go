@@ -4,10 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"multipath/internal/ccc"
-	"multipath/internal/cycles"
 	"multipath/internal/hypercube"
-	"multipath/internal/xproduct"
 )
 
 func TestSimulateSingleMessage(t *testing.T) {
@@ -100,112 +97,6 @@ func TestPermutationMessages(t *testing.T) {
 	}
 }
 
-func TestCCCGreedyRoute(t *testing.T) {
-	n := 4
-	c := ccc.NewCCC(n)
-	g := c.Graph()
-	rng := rand.New(rand.NewSource(9))
-	for trial := 0; trial < 200; trial++ {
-		from := int32(rng.Intn(c.Nodes()))
-		to := int32(rng.Intn(c.Nodes()))
-		p := CCCGreedyRoute(n, from, to)
-		if p[0] != from || p[len(p)-1] != to {
-			t.Fatalf("endpoints wrong: %v", p)
-		}
-		for i := 0; i+1 < len(p); i++ {
-			if !g.HasEdge(p[i], p[i+1]) {
-				t.Fatalf("step (%d,%d) not a CCC edge", p[i], p[i+1])
-			}
-		}
-		if len(p) > 3*n+1 {
-			t.Fatalf("route too long: %d", len(p))
-		}
-	}
-}
-
-// §7's headline comparison: with M-flit messages on a random
-// permutation, store-and-forward e-cube routing costs Θ(n·M) while the
-// split transfer over the CCC copies pipelines in O(M + n).
-func TestSection7Speedup(t *testing.T) {
-	const n = 4 // CCC levels; host Q_6
-	mc, err := ccc.Theorem3(n)
-	if err != nil {
-		t.Fatal(err)
-	}
-	q := mc.Host
-	rng := rand.New(rand.NewSource(42))
-	perm := RandomPermutation(rng, q.Nodes())
-	const M = 64
-
-	sfMsgs := PermutationMessages(q, perm, M)
-	sf, err := Simulate(sfMsgs, StoreAndForward)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ccMsgs, err := MultiCopyCCCMessages(mc, n, perm, M)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cc, err := Simulate(ccMsgs, CutThrough)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Store-and-forward pays ≥ distance·M for some message; the CCC
-	// pipeline should beat it clearly.
-	if sf.Steps <= cc.Steps {
-		t.Errorf("no speedup: store-and-forward %d vs CCC pipeline %d", sf.Steps, cc.Steps)
-	}
-	if cc.Steps > 8*(M/n)+20*n {
-		t.Errorf("CCC pipeline %d steps not O(M+n)-like", cc.Steps)
-	}
-	if sf.Steps < 2*M {
-		t.Errorf("store-and-forward %d suspiciously fast", sf.Steps)
-	}
-}
-
-// §2 via the simulator: Theorem 1's width-w embedding moves m packets
-// per cycle edge in Θ(m/w) pipelined steps, the Gray code in m.
-func TestSection2ThroughSimulator(t *testing.T) {
-	const n, m = 8, 64
-	gray, err := cycles.GrayCode(n)
-	if err != nil {
-		t.Fatal(err)
-	}
-	gm, err := WidthPathMessages(gray, m)
-	if err != nil {
-		t.Fatal(err)
-	}
-	gr, err := Simulate(gm, CutThrough)
-	if err != nil {
-		t.Fatal(err)
-	}
-	multi, err := cycles.Theorem1(n)
-	if err != nil {
-		t.Fatal(err)
-	}
-	mm, err := WidthPathMessages(multi, m)
-	if err != nil {
-		t.Fatal(err)
-	}
-	mr, err := Simulate(mm, CutThrough)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if gr.Steps != m {
-		t.Errorf("gray steps %d, want %d", gr.Steps, m)
-	}
-	// Steady-state rate: every physical link serves first/middle/last
-	// duty for three different paths, so throughput is w/3 packets per
-	// step — 3m/w ≈ 38 steps at w = 5, vs m = 64 for the Gray code.
-	w := cycles.RowSubcubeDim(n) + 1
-	if mr.Steps > 3*m/w+6 {
-		t.Errorf("multi-path %d steps exceeds 3m/w bound %d", mr.Steps, 3*m/w+6)
-	}
-	if mr.Steps >= gr.Steps {
-		t.Errorf("multi-path %d not faster than gray %d", mr.Steps, gr.Steps)
-	}
-}
-
 func BenchmarkSimulatePermutation(b *testing.B) {
 	q := hypercube.New(8)
 	rng := rand.New(rand.NewSource(3))
@@ -214,88 +105,6 @@ func BenchmarkSimulatePermutation(b *testing.B) {
 		msgs := PermutationMessages(q, perm, 16)
 		if _, err := Simulate(msgs, CutThrough); err != nil {
 			b.Fatal(err)
-		}
-	}
-}
-
-// §7's "better alternative": two-phase routing on X(Butterfly) keeps
-// every route O(n) and pipelines long messages.
-func TestTwoPhaseXRouting(t *testing.T) {
-	r, err := xproduct.NewTwoPhaseRouter(2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rng := rand.New(rand.NewSource(23))
-	perm := RandomPermutation(rng, r.Nodes())
-	routes, err := r.PermutationRoutes(perm)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Two-phase routes are longer (≤ 16 links at m = 2) but pipeline:
-	// completion ~M + route length, vs distance·M for store-and-forward.
-	const M = 128
-	var msgs []*Message
-	for _, route := range routes {
-		if len(route) == 0 {
-			continue
-		}
-		msgs = append(msgs, &Message{Route: route, Flits: M})
-	}
-	res, err := Simulate(msgs, CutThrough)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.DeliveredMsgs != len(msgs) {
-		t.Fatalf("delivered %d of %d", res.DeliveredMsgs, len(msgs))
-	}
-	// §7's point: on the same routes, pipelined (cut-through/wormhole)
-	// switching completes in ~congestion·M while store-and-forward pays
-	// ~route-length·M — re-buffering the whole message at every hop.
-	sfMsgs := make([]*Message, len(msgs))
-	for i, m := range msgs {
-		sfMsgs[i] = &Message{Route: m.Route, Flits: m.Flits}
-	}
-	sf, err := Simulate(sfMsgs, StoreAndForward)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if float64(sf.Steps) < 1.8*float64(res.Steps) {
-		t.Errorf("two-phase pipelined %d not ~2x faster than buffered %d", res.Steps, sf.Steps)
-	}
-}
-
-// DESIGN.md's invariant: the static schedule checker and the dynamic
-// simulator must agree. Theorem 1's synchronized cost is 3; sending one
-// flit down every path delivers in exactly 3 simulated steps.
-func TestStaticDynamicAgreement(t *testing.T) {
-	for _, n := range []int{6, 8, 10} {
-		e, err := cycles.Theorem1(n)
-		if err != nil {
-			t.Fatal(err)
-		}
-		static, err := e.SynchronizedCost()
-		if err != nil {
-			t.Fatalf("n=%d: %v", n, err)
-		}
-		var msgs []*Message
-		for _, ps := range e.Paths {
-			for _, p := range ps {
-				ids, err := e.Host.PathEdgeIDs(p)
-				if err != nil {
-					t.Fatal(err)
-				}
-				msgs = append(msgs, &Message{Route: ids, Flits: 1})
-			}
-		}
-		dyn, err := Simulate(msgs, CutThrough)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if dyn.Steps != static {
-			t.Errorf("n=%d: dynamic %d vs static %d", n, dyn.Steps, static)
-		}
-		if dyn.DeliveredMsgs != len(msgs) {
-			t.Errorf("n=%d: delivered %d of %d", n, dyn.DeliveredMsgs, len(msgs))
 		}
 	}
 }

@@ -1,0 +1,111 @@
+// Package traffic builds netsim message sets from the embedding
+// constructions — the glue between the structural layers (core, ccc)
+// and the switching simulator. It exists as its own package so that
+// netsim stays free of embedding types (core routes its packet-cost
+// measurement through netsim, so netsim importing core would cycle).
+package traffic
+
+import (
+	"fmt"
+
+	"multipath/internal/ccc"
+	"multipath/internal/core"
+	"multipath/internal/hypercube"
+	"multipath/internal/netsim"
+)
+
+// CCCGreedyRoute returns the CCC vertex path from ⟨l1,c1⟩ to ⟨l2,c2⟩:
+// ascend levels via straight edges, taking the cross edge at every
+// level whose column bit differs, until the column matches and the
+// level wraps around to the destination.
+func CCCGreedyRoute(n int, from, to int32) []int32 {
+	c := ccc.NewCCC(n)
+	cur := from
+	path := []int32{cur}
+	guard := 0
+	for cur != to {
+		guard++
+		if guard > 4*n+4 {
+			panic("traffic: CCC route did not converge")
+		}
+		l, col := c.Level(cur), c.Col(cur)
+		tcol := c.Col(to)
+		if (col^tcol)&(1<<uint(l)) != 0 {
+			cur = c.ID(l, col^1<<uint(l))
+		} else {
+			cur = c.ID((l+1)%n, col)
+		}
+		path = append(path, cur)
+	}
+	return path
+}
+
+// MultiCopyCCCMessages implements §7's speedup: each host node splits
+// its M-flit message into one piece per CCC copy, routing piece k on
+// copy k between the CCC vertices that copy k places at the source and
+// destination host nodes. Routes are host link-id sequences, so all
+// pieces share the physical hypercube under the embedding's congestion
+// bound of 2.
+func MultiCopyCCCMessages(mc *core.MultiCopy, n int, perm []int, flits int) ([]*netsim.Message, error) {
+	q := mc.Host
+	copies := len(mc.Copies)
+	piece := (flits + copies - 1) / copies
+	// Invert each copy's vertex map: host node → CCC vertex.
+	inv := make([][]int32, copies)
+	for k, cp := range mc.Copies {
+		iv := make([]int32, q.Nodes())
+		for v, h := range cp.VertexMap {
+			iv[h] = int32(v)
+		}
+		inv[k] = iv
+	}
+	var msgs []*netsim.Message
+	for src, dstI := range perm {
+		dst := hypercube.Node(dstI)
+		if hypercube.Node(src) == dst {
+			continue
+		}
+		for k := 0; k < copies; k++ {
+			vp := CCCGreedyRoute(n, inv[k][src], inv[k][dst])
+			route := make([]int, 0, len(vp)-1)
+			for i := 0; i+1 < len(vp); i++ {
+				hu := mc.Copies[k].VertexMap[vp[i]]
+				hv := mc.Copies[k].VertexMap[vp[i+1]]
+				id, err := q.EdgeBetween(hu, hv)
+				if err != nil {
+					return nil, fmt.Errorf("traffic: copy %d route leaves dilation 1: %w", k, err)
+				}
+				route = append(route, id)
+			}
+			msgs = append(msgs, &netsim.Message{Route: route, Flits: piece})
+		}
+	}
+	return msgs, nil
+}
+
+// WidthPathMessages spreads an M-flit transfer per guest edge of a
+// multiple-path embedding across its disjoint paths — the paper's §2
+// use of width for throughput.
+func WidthPathMessages(e *core.Embedding, flits int) ([]*netsim.Message, error) {
+	var msgs []*netsim.Message
+	for _, ps := range e.Paths {
+		w := len(ps)
+		base := flits / w
+		extra := flits % w
+		for j, p := range ps {
+			f := base
+			if j < extra {
+				f++
+			}
+			if f == 0 || len(p) < 2 {
+				continue
+			}
+			ids, err := e.Host.PathEdgeIDs(p)
+			if err != nil {
+				return nil, err
+			}
+			msgs = append(msgs, &netsim.Message{Route: ids, Flits: f})
+		}
+	}
+	return msgs, nil
+}

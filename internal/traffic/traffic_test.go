@@ -1,0 +1,145 @@
+package traffic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"multipath/internal/ccc"
+	"multipath/internal/cycles"
+	"multipath/internal/netsim"
+)
+
+func TestCCCGreedyRoute(t *testing.T) {
+	n := 4
+	c := ccc.NewCCC(n)
+	g := c.Graph()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		from := int32(rng.Intn(c.Nodes()))
+		to := int32(rng.Intn(c.Nodes()))
+		p := CCCGreedyRoute(n, from, to)
+		if p[0] != from || p[len(p)-1] != to {
+			t.Fatalf("endpoints wrong: %v", p)
+		}
+		for i := 0; i+1 < len(p); i++ {
+			if !g.HasEdge(p[i], p[i+1]) {
+				t.Fatalf("step (%d,%d) not a CCC edge", p[i], p[i+1])
+			}
+		}
+		if len(p) > 3*n+1 {
+			t.Fatalf("route too long: %d", len(p))
+		}
+	}
+}
+
+// §7's headline comparison: with M-flit messages on a random
+// permutation, store-and-forward e-cube routing costs Θ(n·M) while the
+// split transfer over the CCC copies pipelines in O(M + n).
+func TestSection7Speedup(t *testing.T) {
+	const n = 4 // CCC levels; host Q_6
+	mc, err := ccc.Theorem3(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mc.Host
+	rng := rand.New(rand.NewSource(42))
+	perm := netsim.RandomPermutation(rng, q.Nodes())
+	const M = 64
+
+	sfMsgs := netsim.PermutationMessages(q, perm, M)
+	sf, err := netsim.Simulate(sfMsgs, netsim.StoreAndForward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccMsgs, err := MultiCopyCCCMessages(mc, n, perm, M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := netsim.Simulate(ccMsgs, netsim.CutThrough)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Store-and-forward pays ≥ distance·M for some message; the CCC
+	// pipeline should beat it clearly.
+	if sf.Steps <= cc.Steps {
+		t.Errorf("no speedup: store-and-forward %d vs CCC pipeline %d", sf.Steps, cc.Steps)
+	}
+	if cc.Steps > 8*(M/n)+20*n {
+		t.Errorf("CCC pipeline %d steps not O(M+n)-like", cc.Steps)
+	}
+	if sf.Steps < 2*M {
+		t.Errorf("store-and-forward %d suspiciously fast", sf.Steps)
+	}
+}
+
+// §2 via the simulator: Theorem 1's width-w embedding moves m packets
+// per cycle edge in Θ(m/w) pipelined steps, the Gray code in m.
+func TestSection2ThroughSimulator(t *testing.T) {
+	const n, m = 8, 64
+	gray, err := cycles.GrayCode(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, err := WidthPathMessages(gray, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := netsim.Simulate(gm, netsim.CutThrough)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := cycles.Theorem1(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := WidthPathMessages(multi, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := netsim.Simulate(mm, netsim.CutThrough)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Steps != m {
+		t.Errorf("gray steps %d, want %d", gr.Steps, m)
+	}
+	// Steady-state rate: every physical link serves first/middle/last
+	// duty for three different paths, so throughput is w/3 packets per
+	// step — 3m/w ≈ 38 steps at w = 5, vs m = 64 for the Gray code.
+	w := cycles.RowSubcubeDim(n) + 1
+	if mr.Steps > 3*m/w+6 {
+		t.Errorf("multi-path %d steps exceeds 3m/w bound %d", mr.Steps, 3*m/w+6)
+	}
+	if mr.Steps >= gr.Steps {
+		t.Errorf("multi-path %d not faster than gray %d", mr.Steps, gr.Steps)
+	}
+}
+
+// The width-paths workload class used to anchor the engine-vs-reference
+// equivalence suite in netsim; since the builders moved here, the check
+// rides along: the dense engine must match the retained seed simulator
+// bit-for-bit on it.
+func TestWidthPathsEngineMatchesReference(t *testing.T) {
+	e8, err := cycles.Theorem1(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, err := WidthPathMessages(e8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []netsim.Mode{netsim.StoreAndForward, netsim.CutThrough} {
+		ref, err := netsim.SimulateReference(wm, mode)
+		if err != nil {
+			t.Fatalf("%v: reference: %v", mode, err)
+		}
+		got, err := netsim.Simulate(wm, mode)
+		if err != nil {
+			t.Fatalf("%v: engine: %v", mode, err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("%v: engine %+v != reference %+v", mode, got, ref)
+		}
+	}
+}
