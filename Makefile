@@ -8,8 +8,10 @@ GO ?= go
 all: check
 
 # The default verification path: build, vet, tests, and the race
-# detector (the netsim batch runner and mpbench worker pool are
-# concurrent, so -race is part of the gate, not an extra).
+# detector (the netsim batch runner, the mpbench worker pool, and the
+# core arena builders' per-worker fan-out are concurrent, so -race is
+# part of the gate, not an extra; the core package's parallel-build
+# tests force multiple workers regardless of host core count).
 check: build vet test race
 
 build:

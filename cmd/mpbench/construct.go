@@ -14,12 +14,16 @@ import (
 	"multipath/internal/xproduct"
 )
 
-// BENCH_construct.json: the perf record for the dense metric engine in
-// internal/core, emitted alongside BENCH_netsim.json. For each paper
-// construction at growing host sizes it captures build and verify
-// wall-clock, and at n = 16 it pins the warm-verification speedup of
-// the dense parallel passes over the retained map-based reference
-// implementations (WidthReference / SynchronizedCostReference).
+// BENCH_construct.json: the perf record for the dense metric and
+// construction engines in internal/core, emitted alongside
+// BENCH_netsim.json. For each paper construction at growing host sizes
+// it captures build wall-clock, build allocation count, and verify
+// wall-clock; at n = 16 it pins the warm-verification speedup of the
+// dense parallel passes over the retained map-based reference
+// implementations (WidthReference / SynchronizedCostReference) and the
+// arena-backed builders against their retained slice-of-slices golden
+// models (build_speedups_n16). A second build sweep with GOMAXPROCS
+// raised (builds_mp) records what the per-worker arena fan-out adds.
 
 type constructCase struct {
 	Name        string  `json:"name"`
@@ -28,7 +32,8 @@ type constructCase struct {
 	Width       int     `json:"width"`
 	SyncCost    int     `json:"sync_cost"`
 	BuildMS     float64 `json:"build_ms"`
-	ColdMS      float64 `json:"cold_verify_ms"` // first Validate+Width+SynchronizedCost (builds the route cache)
+	BuildAllocs uint64  `json:"build_allocs"`   // heap allocations performed by the build
+	ColdMS      float64 `json:"cold_verify_ms"` // first Validate+Width+SynchronizedCost (cache adopted at build, so no rebuild)
 	WarmMS      float64 `json:"warm_verify_ms"` // same sweep with the cache hot, best of 3
 	PacketCosts []int   `json:"ppacket_costs"`  // PPacketCosts sweep over ppacketSweep
 }
@@ -41,11 +46,39 @@ type metricSpeedup struct {
 	Speedup     float64 `json:"speedup"`
 }
 
+// buildSpeedup compares an arena-backed constructor against its
+// retained slice-of-slices golden model at n = 16, as build wall-clock,
+// build allocation count, and build-to-first-verified wall-clock (the
+// arena adopts the dense route cache at build time, the retained
+// builder pays the cache rebuild inside its first verification).
+type buildSpeedup struct {
+	Case                 string  `json:"case"`
+	RetainedBuildMS      float64 `json:"retained_build_ms"`
+	ArenaBuildMS         float64 `json:"arena_build_ms"`
+	RetainedBuildAllocs  uint64  `json:"retained_build_allocs"`
+	ArenaBuildAllocs     uint64  `json:"arena_build_allocs"`
+	AllocImprovement     float64 `json:"alloc_improvement"`
+	RetainedToVerifiedMS float64 `json:"retained_to_verified_ms"`
+	ArenaToVerifiedMS    float64 `json:"arena_to_verified_ms"`
+	ToVerifiedSpeedup    float64 `json:"to_verified_speedup"`
+}
+
+// mpBuild is one case's build wall-clock with GOMAXPROCS raised, so
+// the record shows what the per-worker arena fan-out contributes on
+// top of the single-core allocation win (nothing on a 1-core host).
+type mpBuild struct {
+	Name    string  `json:"name"`
+	BuildMS float64 `json:"build_ms"`
+}
+
 type constructReport struct {
-	GeneratedAt string          `json:"generated_at"`
-	GoMaxProcs  int             `json:"gomaxprocs"`
-	Cases       []constructCase `json:"cases"`
-	Speedups    []metricSpeedup `json:"warm_speedups_n16"`
+	GeneratedAt   string          `json:"generated_at"`
+	GoMaxProcs    int             `json:"gomaxprocs"`
+	Cases         []constructCase `json:"cases"`
+	Speedups      []metricSpeedup `json:"warm_speedups_n16"`
+	BuildSpeedups []buildSpeedup  `json:"build_speedups_n16"`
+	MPGoMaxProcs  int             `json:"mp_gomaxprocs"`
+	MPBuilds      []mpBuild       `json:"builds_mp"`
 }
 
 // ppacketSweep is the packet-count sweep measured per construction via
@@ -76,6 +109,15 @@ func constructEmbeddings() ([]string, []func() (*core.Embedding, error)) {
 }
 
 func theorem4Embedding(a int) (*core.Embedding, error) {
+	copies, err := theorem4Copies(a)
+	if err != nil {
+		return nil, err
+	}
+	_, xe, err := xproduct.Theorem4(copies)
+	return xe, err
+}
+
+func theorem4Copies(a int) ([]*core.Embedding, error) {
 	dec, err := hamdecomp.Decompose(a)
 	if err != nil {
 		return nil, err
@@ -89,8 +131,36 @@ func theorem4Embedding(a int) (*core.Embedding, error) {
 		}
 		copies = append(copies, e)
 	}
-	_, xe, err := xproduct.Theorem4(copies)
-	return xe, err
+	return copies, nil
+}
+
+// retainedBuilders maps each n = 16 benchmark case to its retained
+// slice-of-slices golden-model builder.
+func retainedBuilders() map[string]func() (*core.Embedding, error) {
+	return map[string]func() (*core.Embedding, error){
+		"theorem1/n=16": func() (*core.Embedding, error) { return cycles.Theorem1Reference(16) },
+		"theorem2/n=16": func() (*core.Embedding, error) { return cycles.Theorem2Reference(16) },
+		"theorem4/n=16": func() (*core.Embedding, error) {
+			copies, err := theorem4Copies(8)
+			if err != nil {
+				return nil, err
+			}
+			_, xe, err := xproduct.Theorem4Reference(copies)
+			return xe, err
+		},
+	}
+}
+
+// buildAllocs runs build and returns the embedding, the wall-clock,
+// and the heap allocation count the build performed.
+func buildAllocs(build func() (*core.Embedding, error)) (*core.Embedding, time.Duration, uint64, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	e, err := build()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return e, wall, after.Mallocs - before.Mallocs, err
 }
 
 func verifySweep(e *core.Embedding) error {
@@ -130,14 +200,12 @@ func runConstructBench() (*constructReport, error) {
 	}
 	names, builders := constructEmbeddings()
 	for i, name := range names {
-		start := time.Now()
-		e, err := builders[i]()
+		e, build, allocs, err := buildAllocs(builders[i])
 		if err != nil {
 			return nil, fmt.Errorf("%s: build: %w", name, err)
 		}
-		build := time.Since(start)
 
-		start = time.Now()
+		start := time.Now()
 		if err := verifySweep(e); err != nil {
 			return nil, fmt.Errorf("%s: verify: %w", name, err)
 		}
@@ -166,6 +234,7 @@ func runConstructBench() (*constructReport, error) {
 			Width:       w,
 			SyncCost:    c,
 			BuildMS:     ms(build),
+			BuildAllocs: allocs,
 			ColdMS:      ms(cold),
 			WarmMS:      ms(warm),
 			PacketCosts: costs,
@@ -206,6 +275,74 @@ func runConstructBench() (*constructReport, error) {
 			})
 		}
 	}
+
+	// Arena vs retained golden-model builders at n = 16. toVerified is
+	// build plus the first verification sweep: the retained path rebuilds
+	// the route cache there, the arena path adopted it at build time.
+	arenaByName := map[string]func() (*core.Embedding, error){}
+	for i, name := range names {
+		arenaByName[name] = builders[i]
+	}
+	toVerified := func(build func() (*core.Embedding, error)) (time.Duration, uint64, error) {
+		e, wall, allocs, err := buildAllocs(build)
+		if err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		if err := verifySweep(e); err != nil {
+			return 0, 0, err
+		}
+		return wall + time.Since(start), allocs, nil
+	}
+	for _, name := range []string{"theorem1/n=16", "theorem2/n=16", "theorem4/n=16"} {
+		arena, retained := arenaByName[name], retainedBuilders()[name]
+		_, aBuild, aAllocs, err := buildAllocs(arena)
+		if err != nil {
+			return nil, fmt.Errorf("%s: arena build: %w", name, err)
+		}
+		_, rBuild, rAllocs, err := buildAllocs(retained)
+		if err != nil {
+			return nil, fmt.Errorf("%s: retained build: %w", name, err)
+		}
+		aVerified, _, err := toVerified(arena)
+		if err != nil {
+			return nil, fmt.Errorf("%s: arena verify: %w", name, err)
+		}
+		rVerified, _, err := toVerified(retained)
+		if err != nil {
+			return nil, fmt.Errorf("%s: retained verify: %w", name, err)
+		}
+		rep.BuildSpeedups = append(rep.BuildSpeedups, buildSpeedup{
+			Case:                 name,
+			RetainedBuildMS:      ms(rBuild),
+			ArenaBuildMS:         ms(aBuild),
+			RetainedBuildAllocs:  rAllocs,
+			ArenaBuildAllocs:     aAllocs,
+			AllocImprovement:     float64(rAllocs) / float64(aAllocs),
+			RetainedToVerifiedMS: ms(rVerified),
+			ArenaToVerifiedMS:    ms(aVerified),
+			ToVerifiedSpeedup:    float64(rVerified) / float64(aVerified),
+		})
+	}
+
+	// Re-run the arena builds with GOMAXPROCS raised so the record holds
+	// a multi-worker datapoint next to the single-core one (BuildParallel
+	// fans per-worker arenas out across GOMAXPROCS).
+	mp := runtime.NumCPU()
+	if mp < 2 {
+		mp = 2
+	}
+	prev := runtime.GOMAXPROCS(mp)
+	rep.MPGoMaxProcs = mp
+	for i, name := range names {
+		_, wall, _, err := buildAllocs(builders[i])
+		if err != nil {
+			runtime.GOMAXPROCS(prev)
+			return nil, fmt.Errorf("%s: gomaxprocs=%d build: %w", name, mp, err)
+		}
+		rep.MPBuilds = append(rep.MPBuilds, mpBuild{Name: name, BuildMS: ms(wall)})
+	}
+	runtime.GOMAXPROCS(prev)
 	return rep, nil
 }
 
@@ -227,6 +364,13 @@ func writeConstructJSON(path string) error {
 			min = s.Speedup
 		}
 	}
-	fmt.Printf("wrote %s (dense metric engine ≥%.1fx over map reference at n=16, warm)\n", path, min)
+	minAlloc := 0.0
+	for _, s := range rep.BuildSpeedups {
+		if minAlloc == 0 || s.AllocImprovement < minAlloc {
+			minAlloc = s.AllocImprovement
+		}
+	}
+	fmt.Printf("wrote %s (dense metric engine ≥%.1fx over map reference at n=16 warm; arena builders ≥%.0fx fewer allocations than retained)\n",
+		path, min, minAlloc)
 	return nil
 }

@@ -22,6 +22,7 @@
 //	mpbench -parallel=false  # force serial execution
 //	mpbench -json ""         # skip the netsim JSON report
 //	mpbench -construct-json "" # skip the metric-engine JSON report
+//	mpbench -cpuprofile cpu.prof -memprofile mem.prof  # pprof the run
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -172,7 +174,37 @@ func main() {
 	parallel := flag.Bool("parallel", true, "run experiment suites concurrently (output order is unchanged)")
 	jsonPath := flag.String("json", "BENCH_netsim.json", "write per-experiment wall-clock + metrics JSON here (empty to disable)")
 	constructPath := flag.String("construct-json", "BENCH_construct.json", "write the dense metric-engine benchmark JSON here (empty to disable)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run here")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) here")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	exps := experimentList()
 	if *list {

@@ -111,6 +111,53 @@ func TestWriteBenchJSON(t *testing.T) {
 	}
 }
 
+// The construct report must record the arena construction engine's
+// telemetry: allocation counts per build, the arena-vs-retained
+// comparison at n = 16, and the raised-GOMAXPROCS build sweep.
+func TestWriteConstructJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds n=16 embeddings repeatedly")
+	}
+	path := filepath.Join(t.TempDir(), "construct.json")
+	if err := writeConstructJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep constructReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := constructEmbeddings()
+	if len(rep.Cases) != len(names) {
+		t.Fatalf("report has %d cases, want %d", len(rep.Cases), len(names))
+	}
+	for _, c := range rep.Cases {
+		if c.BuildAllocs == 0 {
+			t.Errorf("%s: build_allocs not recorded", c.Name)
+		}
+	}
+	if len(rep.BuildSpeedups) != 3 {
+		t.Fatalf("report has %d build speedups, want 3", len(rep.BuildSpeedups))
+	}
+	for _, s := range rep.BuildSpeedups {
+		if s.AllocImprovement <= 1 {
+			t.Errorf("%s: arena allocations (%d) not below retained (%d)",
+				s.Case, s.ArenaBuildAllocs, s.RetainedBuildAllocs)
+		}
+		if s.ToVerifiedSpeedup <= 1 {
+			t.Errorf("%s: build-to-verified %.2fx not faster than retained (%.1fms vs %.1fms)",
+				s.Case, s.ToVerifiedSpeedup, s.ArenaToVerifiedMS, s.RetainedToVerifiedMS)
+		}
+	}
+	if rep.MPGoMaxProcs < 2 || len(rep.MPBuilds) != len(names) {
+		t.Errorf("mp sweep: gomaxprocs %d, %d builds (want %d)",
+			rep.MPGoMaxProcs, len(rep.MPBuilds), len(names))
+	}
+}
+
 // Paper-vs-measured agreement spot checks through the experiment layer.
 func TestE2ReportsCostThree(t *testing.T) {
 	tab, err := runE2()

@@ -93,6 +93,40 @@ func benchMetric(b *testing.B, fn func(e *core.Embedding) error) {
 	}
 }
 
+// BenchmarkBuild compares the arena-backed constructors against the
+// retained slice-of-slices reference builders at n = 16. The arena
+// path also adopts the dense route cache (the reference leaves it to
+// the first metric call), so allocs/op is the headline number here;
+// BENCH_construct.json records the build-to-first-verify comparison.
+func BenchmarkBuild(b *testing.B) {
+	for _, c := range []struct {
+		name     string
+		arena    func() (*core.Embedding, error)
+		retained func() (*core.Embedding, error)
+	}{
+		{"theorem1/n=16",
+			func() (*core.Embedding, error) { return cycles.Theorem1(16) },
+			func() (*core.Embedding, error) { return cycles.Theorem1Reference(16) }},
+		{"theorem2/n=16",
+			func() (*core.Embedding, error) { return cycles.Theorem2(16) },
+			func() (*core.Embedding, error) { return cycles.Theorem2Reference(16) }},
+	} {
+		for _, v := range []struct {
+			kind  string
+			build func() (*core.Embedding, error)
+		}{{"arena", c.arena}, {"retained", c.retained}} {
+			b.Run(c.name+"/"+v.kind, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := v.build(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkValidate(b *testing.B) {
 	benchMetric(b, func(e *core.Embedding) error { return e.Validate() })
 }

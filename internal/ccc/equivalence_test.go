@@ -1,0 +1,45 @@
+package ccc
+
+import (
+	"reflect"
+	"testing"
+
+	"multipath/internal/core"
+)
+
+// The arena-backed large-copy builders must reproduce the retained
+// slice-of-slices golden model exactly.
+
+func TestLargeCopyMatchesReference(t *testing.T) {
+	type builder func(int) (*core.Embedding, error)
+	cases := []struct {
+		name     string
+		ns       []int
+		got, ref builder
+	}{
+		{"ccc", []int{2, 3, 4, 5, 6}, LargeCopyCCC, LargeCopyCCCReference},
+		{"butterfly", []int{2, 3, 4, 5, 6}, LargeCopyButterfly, LargeCopyButterflyReference},
+		{"fft", []int{2, 3, 4, 5, 6}, LargeCopyFFT, LargeCopyFFTReference},
+		{"cycle", []int{2, 4, 6}, LargeCopyCycle, LargeCopyCycleReference},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, n := range tc.ns {
+				e, err := tc.got(n)
+				if err != nil {
+					t.Fatalf("n=%d: %v", n, err)
+				}
+				ref, err := tc.ref(n)
+				if err != nil {
+					t.Fatalf("n=%d: reference: %v", n, err)
+				}
+				if !reflect.DeepEqual(e.VertexMap, ref.VertexMap) {
+					t.Fatalf("n=%d: VertexMap differs from reference", n)
+				}
+				if !reflect.DeepEqual(e.Paths, ref.Paths) {
+					t.Fatalf("n=%d: Paths differ from reference", n)
+				}
+			}
+		})
+	}
+}

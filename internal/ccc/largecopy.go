@@ -12,36 +12,67 @@ import (
 // Large-copy embeddings (§8.1): a single n·2^n-node guest balanced over
 // the 2^n hypercube nodes, load n, with the guest edges spread evenly
 // over the hypercube links.
+//
+// Every large-copy guest edge maps to a single path — the image edge,
+// or a single node for straight (co-located) edges — so all four
+// builders share largeCopyEmbed, which emits those paths through the
+// core arena builder: the embedding's dense route cache is adopted at
+// build time and the closing Validate pays no rebuild. The retained
+// slice-of-slices loop lives in largeCopyEmbedReference (reference.go),
+// the golden model the equivalence tests pin against.
+
+// largeCopyEmbed builds the one-path-per-edge embedding of g into q
+// under vertexMap through the core arena builder, then validates it.
+func largeCopyEmbed(q *hypercube.Q, g *graph.Graph, vertexMap []hypercube.Node) (*core.Embedding, error) {
+	edges := g.Edges()
+	e, err := core.BuildParallel(q, g, vertexMap, 1, 1,
+		func(i int, a *core.Arena) error {
+			from, to := vertexMap[edges[i].U], vertexMap[edges[i].V]
+			if from == to {
+				a.Route(from)
+			} else {
+				a.Route(from, to)
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// largeCopyCCCLayout is LargeCopyCCC's guest and vertex map.
+func largeCopyCCCLayout(n int) (*hypercube.Q, *graph.Graph, []hypercube.Node) {
+	c := NewCCC(n)
+	g := c.Graph()
+	vm := make([]hypercube.Node, g.N())
+	for id := int32(0); int(id) < g.N(); id++ {
+		vm[id] = c.Col(id)
+	}
+	return hypercube.New(n), g, vm
+}
 
 // LargeCopyCCC embeds the n·2^n-node directed CCC into Q_n (Lemma 9):
 // vertex ⟨ℓ, c⟩ maps to node c; straight edges stay inside a node
 // (length-0 paths); the cross edge at level ℓ maps to the dimension-ℓ
 // link of c. Dilation 1, congestion 1, load n.
 func LargeCopyCCC(n int) (*core.Embedding, error) {
-	c := NewCCC(n)
-	q := hypercube.New(n)
-	g := c.Graph()
-	e := &core.Embedding{
-		Host:      q,
-		Guest:     g,
-		VertexMap: make([]hypercube.Node, g.N()),
-		Paths:     make([][]core.Path, g.M()),
-	}
+	q, g, vm := largeCopyCCCLayout(n)
+	return largeCopyEmbed(q, g, vm)
+}
+
+// largeCopyButterflyLayout is LargeCopyButterfly's guest and vertex map.
+func largeCopyButterflyLayout(n int) (*hypercube.Q, *graph.Graph, []hypercube.Node) {
+	b := NewButterfly(n)
+	g := b.Graph()
+	vm := make([]hypercube.Node, g.N())
 	for id := int32(0); int(id) < g.N(); id++ {
-		e.VertexMap[id] = c.Col(id)
+		vm[id] = b.Col(id)
 	}
-	for i, ge := range g.Edges() {
-		from, to := e.VertexMap[ge.U], e.VertexMap[ge.V]
-		if from == to {
-			e.Paths[i] = []core.Path{{from}}
-		} else {
-			e.Paths[i] = []core.Path{{from, to}}
-		}
-	}
-	if err := e.Validate(); err != nil {
-		return nil, err
-	}
-	return e, nil
+	return hypercube.New(n), g, vm
 }
 
 // LargeCopyButterfly embeds the n·2^n-node wrapped butterfly into Q_n
@@ -49,77 +80,38 @@ func LargeCopyCCC(n int) (*core.Embedding, error) {
 // a node; the cross edge at level ℓ maps to the dimension-ℓ link.
 // Dilation 1, congestion 1 per directed link, load n.
 func LargeCopyButterfly(n int) (*core.Embedding, error) {
-	b := NewButterfly(n)
-	q := hypercube.New(n)
-	g := b.Graph()
-	e := &core.Embedding{
-		Host:      q,
-		Guest:     g,
-		VertexMap: make([]hypercube.Node, g.N()),
-		Paths:     make([][]core.Path, g.M()),
+	q, g, vm := largeCopyButterflyLayout(n)
+	return largeCopyEmbed(q, g, vm)
+}
+
+// largeCopyFFTLayout is LargeCopyFFT's guest and vertex map.
+func largeCopyFFTLayout(n int) (*hypercube.Q, *graph.Graph, []hypercube.Node) {
+	g := FFTGraph(n)
+	cols := 1 << uint(n)
+	vm := make([]hypercube.Node, g.N())
+	for id := 0; id < g.N(); id++ {
+		vm[id] = hypercube.Node(id % cols)
 	}
-	for id := int32(0); int(id) < g.N(); id++ {
-		e.VertexMap[id] = b.Col(id)
-	}
-	for i, ge := range g.Edges() {
-		from, to := e.VertexMap[ge.U], e.VertexMap[ge.V]
-		if from == to {
-			e.Paths[i] = []core.Path{{from}}
-		} else {
-			e.Paths[i] = []core.Path{{from, to}}
-		}
-	}
-	if err := e.Validate(); err != nil {
-		return nil, err
-	}
-	return e, nil
+	return hypercube.New(n), g, vm
 }
 
 // LargeCopyFFT embeds the (n+1)·2^n-node FFT graph into Q_n: level ℓ
 // of column c maps to node c. Cross edges at level ℓ use the
 // dimension-ℓ link; load n+1, congestion 1 per directed link.
 func LargeCopyFFT(n int) (*core.Embedding, error) {
-	q := hypercube.New(n)
-	g := FFTGraph(n)
-	cols := 1 << uint(n)
-	e := &core.Embedding{
-		Host:      q,
-		Guest:     g,
-		VertexMap: make([]hypercube.Node, g.N()),
-		Paths:     make([][]core.Path, g.M()),
-	}
-	for id := 0; id < g.N(); id++ {
-		e.VertexMap[id] = hypercube.Node(id % cols)
-	}
-	for i, ge := range g.Edges() {
-		from, to := e.VertexMap[ge.U], e.VertexMap[ge.V]
-		if from == to {
-			e.Paths[i] = []core.Path{{from}}
-		} else {
-			e.Paths[i] = []core.Path{{from, to}}
-		}
-	}
-	if err := e.Validate(); err != nil {
-		return nil, err
-	}
-	return e, nil
+	q, g, vm := largeCopyFFTLayout(n)
+	return largeCopyEmbed(q, g, vm)
 }
 
-// LargeCopyCycle embeds the n·2^n-node directed cycle into Q_n for even
-// n with dilation 1 and congestion 1 (Corollary 3): the n directed
-// Hamiltonian cycles of Lemma 1, each rotated to start at node 0, are
-// traversed in sequence; the closing edge of each cycle doubles as the
-// hand-off into the next cycle's start. Every directed hypercube link
-// is the image of exactly one guest edge.
-func LargeCopyCycle(n int) (*core.Embedding, error) {
+// largeCopyCycleLayout is LargeCopyCycle's guest and vertex map.
+func largeCopyCycleLayout(n int) (*hypercube.Q, *graph.Graph, []hypercube.Node, error) {
 	if n%2 != 0 {
-		return nil, fmt.Errorf("ccc: Corollary 3 requires even n, got %d", n)
+		return nil, nil, nil, fmt.Errorf("ccc: Corollary 3 requires even n, got %d", n)
 	}
 	dec, err := hamdecomp.Decompose(n)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	q := hypercube.New(n)
 	var seq []hypercube.Node
 	for _, cyc := range dec.Directed() {
 		rotated := rotateToZero(cyc)
@@ -130,24 +122,21 @@ func LargeCopyCycle(n int) (*core.Embedding, error) {
 	for i := 0; i < L; i++ {
 		g.AddEdge(int32(i), int32((i+1)%L))
 	}
-	e := &core.Embedding{
-		Host:      q,
-		Guest:     g,
-		VertexMap: seq,
-		Paths:     make([][]core.Path, L),
-	}
-	for i := 0; i < L; i++ {
-		from, to := seq[i], seq[(i+1)%L]
-		if from == to {
-			e.Paths[i] = []core.Path{{from}}
-		} else {
-			e.Paths[i] = []core.Path{{from, to}}
-		}
-	}
-	if err := e.Validate(); err != nil {
+	return hypercube.New(n), g, seq, nil
+}
+
+// LargeCopyCycle embeds the n·2^n-node directed cycle into Q_n for even
+// n with dilation 1 and congestion 1 (Corollary 3): the n directed
+// Hamiltonian cycles of Lemma 1, each rotated to start at node 0, are
+// traversed in sequence; the closing edge of each cycle doubles as the
+// hand-off into the next cycle's start. Every directed hypercube link
+// is the image of exactly one guest edge.
+func LargeCopyCycle(n int) (*core.Embedding, error) {
+	q, g, seq, err := largeCopyCycleLayout(n)
+	if err != nil {
 		return nil, err
 	}
-	return e, nil
+	return largeCopyEmbed(q, g, seq)
 }
 
 func rotateToZero(cyc []hypercube.Node) []hypercube.Node {

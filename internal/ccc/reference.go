@@ -1,0 +1,61 @@
+package ccc
+
+import (
+	"multipath/internal/core"
+	"multipath/internal/graph"
+	"multipath/internal/hypercube"
+)
+
+// Retained slice-of-slices builder for the large-copy family, kept as
+// the golden model for largeCopyEmbed's arena-backed version.
+
+// largeCopyEmbedReference is the original per-edge loop: one little
+// slice per path, route cache rebuilt on first use.
+func largeCopyEmbedReference(q *hypercube.Q, g *graph.Graph, vertexMap []hypercube.Node) (*core.Embedding, error) {
+	e := &core.Embedding{
+		Host:      q,
+		Guest:     g,
+		VertexMap: vertexMap,
+		Paths:     make([][]core.Path, g.M()),
+	}
+	for i, ge := range g.Edges() {
+		from, to := e.VertexMap[ge.U], e.VertexMap[ge.V]
+		if from == to {
+			e.Paths[i] = []core.Path{{from}}
+		} else {
+			e.Paths[i] = []core.Path{{from, to}}
+		}
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// LargeCopyCCCReference is the retained builder of LargeCopyCCC.
+func LargeCopyCCCReference(n int) (*core.Embedding, error) {
+	q, g, vm := largeCopyCCCLayout(n)
+	return largeCopyEmbedReference(q, g, vm)
+}
+
+// LargeCopyButterflyReference is the retained builder of
+// LargeCopyButterfly.
+func LargeCopyButterflyReference(n int) (*core.Embedding, error) {
+	q, g, vm := largeCopyButterflyLayout(n)
+	return largeCopyEmbedReference(q, g, vm)
+}
+
+// LargeCopyFFTReference is the retained builder of LargeCopyFFT.
+func LargeCopyFFTReference(n int) (*core.Embedding, error) {
+	q, g, vm := largeCopyFFTLayout(n)
+	return largeCopyEmbedReference(q, g, vm)
+}
+
+// LargeCopyCycleReference is the retained builder of LargeCopyCycle.
+func LargeCopyCycleReference(n int) (*core.Embedding, error) {
+	q, g, seq, err := largeCopyCycleLayout(n)
+	if err != nil {
+		return nil, err
+	}
+	return largeCopyEmbedReference(q, g, seq)
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"slices"
+	"strings"
+	"testing"
+
+	"multipath/internal/graph"
+	"multipath/internal/hypercube"
+)
+
+// refEmbedding assembles the same content as an arena build the
+// original way: independent little slices, no adopted cache.
+func refEmbedding(q *hypercube.Q, guest *graph.Graph, vertexMap []hypercube.Node, paths [][]Path) *Embedding {
+	cp := make([][]Path, len(paths))
+	for i, ps := range paths {
+		cp[i] = make([]Path, len(ps))
+		for j, p := range ps {
+			cp[i][j] = append(Path(nil), p...)
+		}
+	}
+	return &Embedding{Host: q, Guest: guest, VertexMap: vertexMap, Paths: cp}
+}
+
+func TestArenaAdoptsRouteCache(t *testing.T) {
+	q := hypercube.New(3)
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	vm := []hypercube.Node{0, 1, 3, 7}
+
+	a := NewArena(q)
+	a.BeginEdge()
+	a.RouteDims(0, 0)       // 0→1
+	a.RouteDims(0, 1, 0, 1) // 0→2→3→1
+	a.BeginEdge()
+	a.RouteDims(1, 1) // 1→3
+	e, err := a.Finish(g, vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.rc == nil {
+		t.Fatal("no adopted route cache")
+	}
+	if got, want := e.rc.fp, e.fingerprint(); got != want {
+		t.Fatalf("adopted fingerprint %x, want %x", got, want)
+	}
+	want := refEmbedding(q, g, vm, [][]Path{
+		{RouteDims(0, 0), RouteDims(0, 1, 0, 1)},
+		{RouteDims(1, 1)},
+	})
+	if !reflect.DeepEqual(e.Paths, want.Paths) {
+		t.Fatalf("paths %v, want %v", e.Paths, want.Paths)
+	}
+	// The adopted cache is what routes() would build.
+	rcBefore := e.rc
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if e.rc != rcBefore {
+		t.Error("Validate rebuilt an adopted cache")
+	}
+	w, err := e.Width()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ww, werr := want.Width(); w != ww || (err == nil) != (werr == nil) {
+		t.Errorf("width %d/%v, reference %d/%v", w, err, ww, werr)
+	}
+}
+
+func TestArenaPathViewsAreAppendSafe(t *testing.T) {
+	q := hypercube.New(2)
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	a := NewArena(q)
+	a.BeginEdge()
+	a.RouteDims(0, 0)
+	a.BeginEdge()
+	a.RouteDims(1, 0)
+	e, err := a.Finish(g, []hypercube.Node{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append(Path(nil), e.Paths[1][0]...)
+	// Appending to a view must copy, never clobber the neighbor path.
+	_ = append(e.Paths[0][0], 3)
+	_ = append(e.Paths[0], RouteDims(0, 1, 0, 1))
+	if !reflect.DeepEqual(e.Paths[1][0], before) {
+		t.Fatalf("neighbor path clobbered: %v, want %v", e.Paths[1][0], before)
+	}
+}
+
+func TestArenaErrors(t *testing.T) {
+	q := hypercube.New(2)
+	cases := []struct {
+		name string
+		emit func(a *Arena)
+		want string
+	}{
+		{"non-adjacent", func(a *Arena) { a.BeginEdge(); a.Route(0, 3) }, "not adjacent"},
+		{"out of range", func(a *Arena) { a.BeginEdge(); a.Route(0, 4) }, "outside"},
+		{"bad dim", func(a *Arena) { a.BeginEdge(); a.RouteDims(0, 2) }, "dimension 2"},
+		{"no edge", func(a *Arena) { a.Route(0, 1) }, "before BeginEdge"},
+		{"empty path", func(a *Arena) { a.BeginEdge(); a.Route() }, "empty path"},
+		{"step outside route", func(a *Arena) { a.BeginEdge(); a.Step(1) }, "before StartRoute"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := NewArena(q)
+			tc.emit(a)
+			g := graph.New(2)
+			g.AddEdge(0, 1)
+			if _, err := a.Finish(g, []hypercube.Node{0, 1}); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// randomBuild derives a deterministic random embedding shape: every
+// path is a random dimension walk from the edge's mapped source, so
+// hops are always structurally valid (endpoint mismatches and width
+// overlaps still occur, as in real constructor bugs).
+func randomBuild(seed int64) (*hypercube.Q, *graph.Graph, []hypercube.Node, [][][]int, [][]hypercube.Node) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(3) // host Q_2..Q_4
+	q := hypercube.New(n)
+	nv := 2 + rng.Intn(5)
+	g := graph.New(nv)
+	vm := make([]hypercube.Node, nv)
+	for v := range vm {
+		vm[v] = hypercube.Node(rng.Intn(q.Nodes()))
+	}
+	m := 1 + rng.Intn(6)
+	for k := 0; k < m; k++ {
+		u := int32(rng.Intn(nv))
+		v := int32(rng.Intn(nv))
+		if u == v {
+			v = (v + 1) % int32(nv)
+		}
+		g.AddEdge(u, v)
+	}
+	dims := make([][][]int, g.M())
+	froms := make([][]hypercube.Node, g.M())
+	for i := range dims {
+		np := 1 + rng.Intn(3)
+		dims[i] = make([][]int, np)
+		froms[i] = make([]hypercube.Node, np)
+		for j := range dims[i] {
+			froms[i][j] = vm[g.Edge(i).U]
+			l := rng.Intn(4)
+			walk := make([]int, l)
+			for t := range walk {
+				walk[t] = rng.Intn(n)
+			}
+			dims[i][j] = walk
+		}
+	}
+	return q, g, vm, dims, froms
+}
+
+// arenaVsReference builds the same random embedding through the arena
+// (with forced multi-worker fan-out) and through plain slices, and
+// requires identical structure and metric outcomes.
+func arenaVsReference(t testing.TB, seed int64) {
+	q, g, vm, dims, froms := randomBuild(seed)
+	e, err := buildParallel(q, g, vm, 0, 0, 4, func(i int, a *Arena) error {
+		for j, walk := range dims[i] {
+			a.RouteDims(froms[i][j], walk...)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("seed %d: arena build: %v", seed, err)
+	}
+	paths := make([][]Path, g.M())
+	for i := range paths {
+		paths[i] = make([]Path, len(dims[i]))
+		for j, walk := range dims[i] {
+			paths[i][j] = RouteDims(froms[i][j], walk...)
+		}
+	}
+	ref := refEmbedding(q, g, vm, paths)
+	if !reflect.DeepEqual(e.VertexMap, ref.VertexMap) || !reflect.DeepEqual(e.Paths, ref.Paths) {
+		t.Fatalf("seed %d: arena embedding differs from reference", seed)
+	}
+	if got, want := e.rc.fp, e.fingerprint(); got != want {
+		t.Fatalf("seed %d: adopted fingerprint %x, want %x", seed, got, want)
+	}
+	// The adopted arrays must be what a from-scratch rebuild derives.
+	if rrc, rerr := buildRoutes(ref); rerr == nil {
+		if !slices.Equal(e.rc.ids, rrc.ids) ||
+			!slices.Equal(e.rc.pathOff, rrc.pathOff) ||
+			!slices.Equal(e.rc.edgeOff, rrc.edgeOff) ||
+			e.rc.maxLen != rrc.maxLen {
+			t.Fatalf("seed %d: adopted cache differs from a rebuilt cache", seed)
+		}
+	}
+	ev, rv := e.Validate(), ref.Validate()
+	if (ev == nil) != (rv == nil) {
+		t.Fatalf("seed %d: Validate %v vs reference %v", seed, ev, rv)
+	}
+	ew, ewerr := e.Width()
+	rw, rwerr := ref.Width()
+	if ew != rw || (ewerr == nil) != (rwerr == nil) {
+		t.Fatalf("seed %d: Width %d/%v vs reference %d/%v", seed, ew, ewerr, rw, rwerr)
+	}
+	if ev != nil || ewerr != nil {
+		return
+	}
+	ec, ecerr := e.SynchronizedCost()
+	rc, rcerr := ref.SynchronizedCost()
+	if ec != rc || (ecerr == nil) != (rcerr == nil) {
+		t.Fatalf("seed %d: SynchronizedCost %d/%v vs reference %d/%v", seed, ec, ecerr, rc, rcerr)
+	}
+}
+
+func TestArenaRoundTripRandom(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		arenaVsReference(t, seed)
+	}
+}
+
+func FuzzArenaRoundTrip(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(1 << 40))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		arenaVsReference(t, seed)
+	})
+}
+
+// TestBuildParallelMatchesSerial pins the merge: many workers over a
+// larger edge set produce exactly the single-arena result. Run with a
+// raised GOMAXPROCS so `make race` exercises true concurrency even on
+// one core.
+func TestBuildParallelMatchesSerial(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	q := hypercube.New(4)
+	nv := 1 << 4
+	g := graph.New(nv)
+	vm := make([]hypercube.Node, nv)
+	for v := 0; v < nv; v++ {
+		vm[v] = hypercube.Node(v)
+		g.AddEdge(int32(v), int32((v+1)%nv))
+	}
+	emit := func(i int, a *Arena) error {
+		u := vm[i]
+		for d := 0; d < 4; d++ {
+			a.RouteDims(u, d, d) // out and back: structurally valid
+		}
+		return nil
+	}
+	// Duplicate the edges enough to cross the min-chunk threshold.
+	big := graph.New(nv)
+	for k := 0; k < 2048; k++ {
+		big.AddEdge(int32(k%nv), int32((k+1)%nv))
+	}
+	bigEmit := func(i int, a *Arena) error { return emit(i%nv, a) }
+	serial, err := buildParallel(q, big, vm, 4, 2, 1, bigEmit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := buildParallel(q, big, vm, 4, 2, 8, bigEmit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Paths, par.Paths) {
+		t.Fatal("parallel build differs from serial")
+	}
+	if serial.rc.fp != par.rc.fp {
+		t.Fatalf("fingerprints differ: %x vs %x", serial.rc.fp, par.rc.fp)
+	}
+	if !reflect.DeepEqual(serial.rc.ids, par.rc.ids) ||
+		!reflect.DeepEqual(serial.rc.pathOff, par.rc.pathOff) ||
+		!reflect.DeepEqual(serial.rc.edgeOff, par.rc.edgeOff) {
+		t.Fatal("adopted caches differ between serial and parallel build")
+	}
+}
+
+// TestBuildParallelFirstErrorWins pins deterministic failure: the
+// lowest guest edge's error is reported no matter which worker hits
+// an error first.
+func TestBuildParallelFirstErrorWins(t *testing.T) {
+	q := hypercube.New(2)
+	m := 2048
+	g := graph.New(4)
+	for k := 0; k < m; k++ {
+		g.AddEdge(int32(k%3), int32(k%3+1))
+	}
+	vm := []hypercube.Node{0, 1, 2, 3}
+	_, err := buildParallel(q, g, vm, 1, 1, 8, func(i int, a *Arena) error {
+		if i >= 700 { // every chunk past the first fails
+			a.Route(0, 3) // non-adjacent
+			return nil
+		}
+		a.RouteDims(vm[g.Edge(i).U], 0)
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "guest edge 700 ") {
+		t.Fatalf("error %v, want guest edge 700", err)
+	}
+}

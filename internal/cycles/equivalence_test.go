@@ -1,0 +1,69 @@
+package cycles
+
+import (
+	"reflect"
+	"testing"
+
+	"multipath/internal/core"
+)
+
+// The arena-backed builders must reproduce the retained slice-of-slices
+// golden models exactly: same VertexMap, same Paths, path for path.
+
+func requireSameEmbedding(t *testing.T, got, want *core.Embedding) {
+	t.Helper()
+	if !reflect.DeepEqual(got.VertexMap, want.VertexMap) {
+		t.Fatal("VertexMap differs from reference")
+	}
+	if !reflect.DeepEqual(got.Paths, want.Paths) {
+		t.Fatal("Paths differ from reference")
+	}
+}
+
+func TestTheorem1MatchesReference(t *testing.T) {
+	for _, n := range []int{4, 5, 6, 8, 9, 10, 12} {
+		e, err := Theorem1(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		ref, err := Theorem1Reference(n)
+		if err != nil {
+			t.Fatalf("n=%d: reference: %v", n, err)
+		}
+		requireSameEmbedding(t, e, ref)
+	}
+}
+
+func TestTheorem2MatchesReference(t *testing.T) {
+	for _, n := range []int{4, 5, 6, 8, 9, 10, 12} {
+		e, err := Theorem2(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		ref, err := Theorem2Reference(n)
+		if err != nil {
+			t.Fatalf("n=%d: reference: %v", n, err)
+		}
+		requireSameEmbedding(t, e, ref)
+	}
+}
+
+func TestTheorem2WideMatchesReference(t *testing.T) {
+	for _, n := range []int{6, 7, 10, 11} {
+		w, err := Theorem2Wide(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		ref, err := Theorem2WideReference(n)
+		if err != nil {
+			t.Fatalf("n=%d: reference: %v", n, err)
+		}
+		requireSameEmbedding(t, w.Embedding, ref.Embedding)
+		if !reflect.DeepEqual(w.Launches, ref.Launches) {
+			t.Fatalf("n=%d: launch plans differ from reference", n)
+		}
+		if w.Cost != ref.Cost {
+			t.Fatalf("n=%d: cost %d, reference %d", n, w.Cost, ref.Cost)
+		}
+	}
+}

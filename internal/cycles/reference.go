@@ -1,0 +1,178 @@
+package cycles
+
+import (
+	"fmt"
+
+	"multipath/internal/core"
+)
+
+// Retained slice-of-slices builders: the original constructors, kept as
+// golden models for the arena-backed Theorem1/Theorem2/Theorem2Wide.
+// They share the cycle/tour construction with the live builders and
+// keep the original per-edge path loops (one little slice per path, no
+// adopted route cache); the equivalence tests pin the arena-built
+// VertexMap/Paths deeply equal to these across sizes, and the build
+// benchmarks use them as the speedup baseline.
+
+// Theorem1Reference is the retained slice-of-slices builder of
+// Theorem 1's embedding.
+func Theorem1Reference(n int) (*core.Embedding, error) {
+	ly, err := newLayout(n)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := theorem1Cycle(ly)
+	if err != nil {
+		return nil, err
+	}
+	e := &core.Embedding{
+		Host:      ly.q,
+		Guest:     guestCycle(len(seq)),
+		VertexMap: seq,
+		Paths:     make([][]core.Path, len(seq)),
+	}
+	for i, u := range seq {
+		v := seq[(i+1)%len(seq)]
+		d, err := ly.q.Dim(u, v)
+		if err != nil {
+			return nil, fmt.Errorf("cycles: C step %d: %w", i, err)
+		}
+		paths := make([]core.Path, 0, ly.a+1)
+		paths = append(paths, core.RouteDims(u, d)) // direct path first
+		base := ly.detourBase(d)
+		for j := 0; j < ly.a; j++ {
+			k := base + j
+			paths = append(paths, core.RouteDims(u, k, d, k))
+		}
+		e.Paths[i] = paths
+	}
+	return e, nil
+}
+
+// Theorem2Reference is the retained slice-of-slices builder of
+// Theorem 2's embedding.
+func Theorem2Reference(n int) (*core.Embedding, error) {
+	ly, err := newLayout(n)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := theorem2Tour(ly)
+	if err != nil {
+		return nil, err
+	}
+	e := &core.Embedding{
+		Host:      ly.q,
+		Guest:     guestCycle(len(seq)),
+		VertexMap: seq,
+		Paths:     make([][]core.Path, len(seq)),
+	}
+	for i, u := range seq {
+		v := seq[(i+1)%len(seq)]
+		d, err := ly.q.Dim(u, v)
+		if err != nil {
+			return nil, fmt.Errorf("cycles: tour step %d: %w", i, err)
+		}
+		base := ly.detourBase(d)
+		paths := make([]core.Path, 0, ly.a)
+		for j := 0; j < ly.a; j++ {
+			k := base + j
+			paths = append(paths, core.RouteDims(u, k, d, k))
+		}
+		e.Paths[i] = paths
+	}
+	return e, nil
+}
+
+// Theorem2WideReference is the retained builder of Theorem2Wide: the
+// original map-keyed greedy scheduler mutating a slice-built Theorem 2
+// embedding in place.
+func Theorem2WideReference(n int) (*WideEmbedding, error) {
+	ly, err := newLayout(n)
+	if err != nil {
+		return nil, err
+	}
+	if ly.r < 2 {
+		return nil, fmt.Errorf("cycles: Theorem2Wide needs ≥ 2 block dimensions (n ≥ %d), got n=%d", 2*ly.a+2, n)
+	}
+	e, err := Theorem2Reference(n)
+	if err != nil {
+		return nil, err
+	}
+
+	// Occupied (link, step) slots of the synchronized main schedule.
+	type slot struct{ link, step int }
+	used := make(map[slot]bool)
+	launches := make([][]core.Launch, len(e.Paths))
+	for i, ps := range e.Paths {
+		ls := make([]core.Launch, len(ps))
+		for j, p := range ps {
+			ids, err := e.Host.PathEdgeIDs(p)
+			if err != nil {
+				return nil, err
+			}
+			for t, id := range ids {
+				used[slot{id, t}] = true
+			}
+			ls[j] = core.Launch{Path: j}
+		}
+		launches[i] = ls
+	}
+
+	cost := 3
+	for i, u := range e.VertexMap {
+		v := e.VertexMap[(i+1)%len(e.VertexMap)]
+		d, err := ly.q.Dim(u, v)
+		if err != nil {
+			return nil, err
+		}
+		// Candidate spare dimensions: block dims for column edges (their
+		// position dims are all taken); any other column dim for row
+		// edges (their row dims are all taken).
+		var candidates []int
+		if d >= ly.b {
+			for k := 0; k < ly.r; k++ {
+				candidates = append(candidates, k)
+			}
+		} else {
+			for k := 0; k < ly.b; k++ {
+				if k != d {
+					candidates = append(candidates, k)
+				}
+			}
+		}
+		placed := false
+		for off := 0; off <= 4 && !placed; off++ {
+			for _, k := range candidates {
+				p := core.RouteDims(u, k, d, k)
+				ids, err := e.Host.PathEdgeIDs(p)
+				if err != nil {
+					return nil, err
+				}
+				ok := true
+				for t, id := range ids {
+					if used[slot{id, off + t}] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				for t, id := range ids {
+					used[slot{id, off + t}] = true
+				}
+				e.Paths[i] = append(e.Paths[i], p)
+				launches[i] = append(launches[i], core.Launch{Path: len(e.Paths[i]) - 1, Start: off})
+				if off+3 > cost {
+					cost = off + 3
+				}
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("cycles: no spare slot for guest edge %d", i)
+		}
+	}
+	return &WideEmbedding{Embedding: e, Launches: launches, Cost: cost}, nil
+}

@@ -94,23 +94,14 @@ func successors(cycles [][]hypercube.Node, size int) [][]uint32 {
 	return succ
 }
 
-// Theorem1 embeds the 2^n-node directed cycle into Q_n with load 1,
-// width a+1 (a = RowSubcubeDim(n) length-3 paths plus the direct edge)
-// and 3-step synchronized cost. For n with ⌊n/2⌋ a power of two this is
-// exactly the embedding of Theorem 1.
-func Theorem1(n int) (*core.Embedding, error) {
-	ly, err := newLayout(n)
-	if err != nil {
-		return nil, err
-	}
+// theorem1Cycle builds the cycle C: visit columns in Gray-code order;
+// within each column follow its special cycle through all 2^a rows.
+func theorem1Cycle(ly *theorem1Layout) ([]hypercube.Node, error) {
 	dec, err := hamdecomp.Decompose(ly.a)
 	if err != nil {
 		return nil, err
 	}
 	succ := successors(dec.Directed(), 1<<uint(ly.a))
-
-	// Build the cycle C: visit columns in Gray-code order; within each
-	// column follow its special cycle through all 2^a rows.
 	rowsPerCol := 1 << uint(ly.a)
 	cols := 1 << uint(ly.b)
 	seq := make([]hypercube.Node, 0, ly.q.Nodes())
@@ -129,32 +120,66 @@ func Theorem1(n int) (*core.Embedding, error) {
 	if row != 0 || col != 0 {
 		return nil, fmt.Errorf("cycles: C did not close at row 0 (row %d, col %d)", row, col)
 	}
+	return seq, nil
+}
 
-	e := &core.Embedding{
-		Host:      ly.q,
-		Guest:     guestCycle(len(seq)),
-		VertexMap: seq,
-		Paths:     make([][]core.Path, len(seq)),
-	}
+// cycleDims returns, for every guest edge i, the dimension crossed
+// between consecutive cycle nodes seq[i] and seq[i+1].
+func cycleDims(q *hypercube.Q, seq []hypercube.Node) ([]int, error) {
+	dims := make([]int, len(seq))
 	for i, u := range seq {
-		v := seq[(i+1)%len(seq)]
-		d, err := ly.q.Dim(u, v)
+		d, err := q.Dim(u, seq[(i+1)%len(seq)])
 		if err != nil {
-			return nil, fmt.Errorf("cycles: C step %d: %w", i, err)
+			return nil, fmt.Errorf("cycles: cycle step %d: %w", i, err)
 		}
-		paths := make([]core.Path, 0, ly.a+1)
-		paths = append(paths, core.RouteDims(u, d)) // direct path first
-		detourBase := ly.r                          // position dims, for special edges
-		if d < ly.b {
-			detourBase = ly.b // row dims, for row edges
-		}
-		for j := 0; j < ly.a; j++ {
-			k := detourBase + j
-			paths = append(paths, core.RouteDims(u, k, d, k))
-		}
-		e.Paths[i] = paths
+		dims[i] = d
 	}
-	return e, nil
+	return dims, nil
+}
+
+// detourBase returns the first of the a consecutive detour dimensions
+// for a guest edge crossing dimension d: position dims for special
+// (row-subcube) edges, row dims for column-subcube edges.
+func (ly *theorem1Layout) detourBase(d int) int {
+	if d < ly.b {
+		return ly.b
+	}
+	return ly.r
+}
+
+// Theorem1 embeds the 2^n-node directed cycle into Q_n with load 1,
+// width a+1 (a = RowSubcubeDim(n) length-3 paths plus the direct edge)
+// and 3-step synchronized cost. For n with ⌊n/2⌋ a power of two this is
+// exactly the embedding of Theorem 1.
+//
+// The routes are emitted into per-worker core arenas (edges of C are
+// independent, so construction parallelizes across contiguous ranges
+// of row subcubes) and the returned embedding carries an adopted dense
+// route cache: the first verification pays no rebuild. Theorem1Reference
+// is the retained slice-of-slices golden model.
+func Theorem1(n int) (*core.Embedding, error) {
+	ly, err := newLayout(n)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := theorem1Cycle(ly)
+	if err != nil {
+		return nil, err
+	}
+	dims, err := cycleDims(ly.q, seq)
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildParallel(ly.q, guestCycle(len(seq)), seq, ly.a+1, 3,
+		func(i int, a *core.Arena) error {
+			u, d := seq[i], dims[i]
+			a.RouteDims(u, d) // direct path first
+			base := ly.detourBase(d)
+			for j := 0; j < ly.a; j++ {
+				a.RouteDims(u, base+j, d, base+j)
+			}
+			return nil
+		})
 }
 
 func guestCycle(L int) *graph.Graph {

@@ -22,11 +22,38 @@ import (
 // reproduces Theorem 2 exactly, including the full-utilization
 // property: every directed hypercube link is busy in every one of the
 // three steps.
+//
+// The routes are emitted into per-worker core arenas (see Theorem1)
+// and the returned embedding's dense route cache is adopted at build
+// time; Theorem2Reference is the retained golden model.
 func Theorem2(n int) (*core.Embedding, error) {
 	ly, err := newLayout(n)
 	if err != nil {
 		return nil, err
 	}
+	seq, err := theorem2Tour(ly)
+	if err != nil {
+		return nil, err
+	}
+	dims, err := cycleDims(ly.q, seq)
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildParallel(ly.q, guestCycle(len(seq)), seq, ly.a, 3,
+		func(i int, a *core.Arena) error {
+			u, d := seq[i], dims[i]
+			base := ly.detourBase(d)
+			for j := 0; j < ly.a; j++ {
+				a.RouteDims(u, base+j, d, base+j)
+			}
+			return nil
+		})
+}
+
+// theorem2Tour builds Theorem 2's guest cycle: an Euler tour of the
+// union of every node's two special cycles (one within its column, one
+// within its row).
+func theorem2Tour(ly *theorem1Layout) ([]hypercube.Node, error) {
 	decA, err := hamdecomp.Decompose(ly.a)
 	if err != nil {
 		return nil, err
@@ -59,30 +86,7 @@ func Theorem2(n int) (*core.Embedding, error) {
 	for i, v := range tour {
 		seq[i] = hypercube.Node(v)
 	}
-	e := &core.Embedding{
-		Host:      ly.q,
-		Guest:     guestCycle(len(seq)),
-		VertexMap: seq,
-		Paths:     make([][]core.Path, len(seq)),
-	}
-	for i, u := range seq {
-		v := seq[(i+1)%len(seq)]
-		d, err := ly.q.Dim(u, v)
-		if err != nil {
-			return nil, fmt.Errorf("cycles: tour step %d: %w", i, err)
-		}
-		detourBase := ly.r // position dims, for column (row-subcube) edges
-		if d < ly.b {
-			detourBase = ly.b // row dims, for row (column-subcube) edges
-		}
-		paths := make([]core.Path, 0, ly.a)
-		for j := 0; j < ly.a; j++ {
-			k := detourBase + j
-			paths = append(paths, core.RouteDims(u, k, d, k))
-		}
-		e.Paths[i] = paths
-	}
-	return e, nil
+	return seq, nil
 }
 
 // WidthBound returns Lemma 3's counting bound: a width-w, 3-step-cost

@@ -25,10 +25,21 @@ type WideEmbedding struct {
 	Cost     int
 }
 
+// The greedy scheduler's occupancy table is flat: slot (link id,
+// step) is index id*wideSteps + step. Launch offsets stay ≤ 4 and every
+// path has 3 hops, so 8 steps per link suffice.
+const wideSteps = 8
+
 // Theorem2Wide widens Theorem 2 to width a+1 = ⌊n/2⌋ (for n ≡ 2, 3 mod
 // 4) and schedules all paths within a few steps (the paper's cost is
 // 4; the greedy scheduler reports the cost it achieves, which tests pin
 // down). Requires at least two block dimensions, i.e. n ≥ 2a+2.
+//
+// The final embedding is rebuilt through the core arena (main detours
+// plus the chosen spare per edge), so its dense route cache is adopted
+// like Theorem1/Theorem2's; Theorem2WideReference is the retained
+// golden model, and the greedy spare choice is deterministic, so the
+// two agree path for path.
 func Theorem2Wide(n int) (*WideEmbedding, error) {
 	ly, err := newLayout(n)
 	if err != nil {
@@ -41,33 +52,36 @@ func Theorem2Wide(n int) (*WideEmbedding, error) {
 	if err != nil {
 		return nil, err
 	}
+	seq := e.VertexMap
+	dims, err := cycleDims(ly.q, seq)
+	if err != nil {
+		return nil, err
+	}
 
 	// Occupied (link, step) slots of the synchronized main schedule.
-	type slot struct{ link, step int }
-	used := make(map[slot]bool)
+	// Every main path is a detour u →k→ →d→ →k→ launched at step 0.
+	used := make([]bool, ly.q.DirectedEdges()*wideSteps)
+	mark3 := func(u core.Path, off int) {
+		var ids [3]int32
+		_ = ly.q.FillPathEdgeIDs32(ids[:], u)
+		for t, id := range ids {
+			used[int(id)*wideSteps+off+t] = true
+		}
+	}
 	launches := make([][]core.Launch, len(e.Paths))
 	for i, ps := range e.Paths {
-		ls := make([]core.Launch, len(ps))
+		ls := make([]core.Launch, len(ps), len(ps)+1)
 		for j, p := range ps {
-			ids, err := e.Host.PathEdgeIDs(p)
-			if err != nil {
-				return nil, err
-			}
-			for t, id := range ids {
-				used[slot{id, t}] = true
-			}
+			mark3(p, 0)
 			ls[j] = core.Launch{Path: j}
 		}
 		launches[i] = ls
 	}
 
 	cost := 3
-	for i, u := range e.VertexMap {
-		v := e.VertexMap[(i+1)%len(e.VertexMap)]
-		d, err := ly.q.Dim(u, v)
-		if err != nil {
-			return nil, err
-		}
+	spare := make([]int, len(seq)) // chosen spare dimension per edge
+	for i, u := range seq {
+		d := dims[i]
 		// Candidate spare dimensions: block dims for column edges (their
 		// position dims are all taken); any other column dim for row
 		// edges (their row dims are all taken).
@@ -86,26 +100,19 @@ func Theorem2Wide(n int) (*WideEmbedding, error) {
 		placed := false
 		for off := 0; off <= 4 && !placed; off++ {
 			for _, k := range candidates {
-				p := core.RouteDims(u, k, d, k)
-				ids, err := e.Host.PathEdgeIDs(p)
-				if err != nil {
-					return nil, err
-				}
-				ok := true
-				for t, id := range ids {
-					if used[slot{id, off + t}] {
-						ok = false
-						break
-					}
-				}
-				if !ok {
+				v1 := u ^ 1<<uint(k)
+				v2 := v1 ^ 1<<uint(d)
+				id0 := ly.q.EdgeID(u, k)
+				id1 := ly.q.EdgeID(v1, d)
+				id2 := ly.q.EdgeID(v2, k)
+				if used[id0*wideSteps+off] || used[id1*wideSteps+off+1] || used[id2*wideSteps+off+2] {
 					continue
 				}
-				for t, id := range ids {
-					used[slot{id, off + t}] = true
-				}
-				e.Paths[i] = append(e.Paths[i], p)
-				launches[i] = append(launches[i], core.Launch{Path: len(e.Paths[i]) - 1, Start: off})
+				used[id0*wideSteps+off] = true
+				used[id1*wideSteps+off+1] = true
+				used[id2*wideSteps+off+2] = true
+				spare[i] = k
+				launches[i] = append(launches[i], core.Launch{Path: ly.a, Start: off})
 				if off+3 > cost {
 					cost = off + 3
 				}
@@ -117,5 +124,22 @@ func Theorem2Wide(n int) (*WideEmbedding, error) {
 			return nil, fmt.Errorf("cycles: no spare slot for guest edge %d", i)
 		}
 	}
-	return &WideEmbedding{Embedding: e, Launches: launches, Cost: cost}, nil
+
+	// Rebuild the widened embedding in dense form: the main detours in
+	// Theorem2's emission order plus the spare path last, matching the
+	// reference's append order.
+	wide, err := core.BuildParallel(ly.q, e.Guest, seq, ly.a+1, 3,
+		func(i int, a *core.Arena) error {
+			u, d := seq[i], dims[i]
+			base := ly.detourBase(d)
+			for j := 0; j < ly.a; j++ {
+				a.RouteDims(u, base+j, d, base+j)
+			}
+			a.RouteDims(u, spare[i], d, spare[i])
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &WideEmbedding{Embedding: wide, Launches: launches, Cost: cost}, nil
 }

@@ -1,0 +1,56 @@
+package grid
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The arena-backed grid builders must reproduce the retained golden
+// models exactly, including the per-edge axis and direction labels.
+
+func requireSameGrid(t *testing.T, got, want *GridEmbedding) {
+	t.Helper()
+	if !reflect.DeepEqual(got.VertexMap, want.VertexMap) {
+		t.Fatal("VertexMap differs from reference")
+	}
+	if !reflect.DeepEqual(got.Paths, want.Paths) {
+		t.Fatal("Paths differ from reference")
+	}
+	if !reflect.DeepEqual(got.Sides, want.Sides) {
+		t.Fatal("Sides differ from reference")
+	}
+	if !reflect.DeepEqual(got.EdgeAxis, want.EdgeAxis) {
+		t.Fatal("EdgeAxis differs from reference")
+	}
+	if !reflect.DeepEqual(got.EdgeForward, want.EdgeForward) {
+		t.Fatal("EdgeForward differs from reference")
+	}
+}
+
+func TestCrossProductMatchesReference(t *testing.T) {
+	for _, sides := range [][]int{{5}, {3, 4}, {2, 3, 2}} {
+		e, err := CrossProduct(sides)
+		if err != nil {
+			t.Fatalf("sides %v: %v", sides, err)
+		}
+		ref, err := CrossProductReference(sides)
+		if err != nil {
+			t.Fatalf("sides %v: reference: %v", sides, err)
+		}
+		requireSameGrid(t, e, ref)
+	}
+}
+
+func TestLoad2TorusMatchesReference(t *testing.T) {
+	for _, k := range []int{1, 2} {
+		e, err := Load2Torus(4, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		ref, err := Load2TorusReference(4, k)
+		if err != nil {
+			t.Fatalf("k=%d: reference: %v", k, err)
+		}
+		requireSameGrid(t, e, ref)
+	}
+}

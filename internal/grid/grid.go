@@ -160,56 +160,60 @@ func CrossProduct(sides []int) (*GridEmbedding, error) {
 		}
 		return h
 	}
-	e := &core.Embedding{
-		Host:      q,
-		Guest:     g,
-		VertexMap: make([]hypercube.Node, g.N()),
-		Paths:     make([][]core.Path, g.M()),
+	vmap := make([]hypercube.Node, g.N())
+	for v := int32(0); int(v) < g.N(); v++ {
+		vmap[v] = place(coordsOf(v))
 	}
 	out := &GridEmbedding{
-		Embedding:   e,
 		Sides:       append([]int(nil), sides...),
 		EdgeAxis:    make([]int, g.M()),
 		EdgeForward: make([]bool, g.M()),
 	}
-	for v := int32(0); int(v) < g.N(); v++ {
-		e.VertexMap[v] = place(coordsOf(v))
-	}
-	for i, ge := range g.Edges() {
-		cu := coordsOf(ge.U)
-		cv := coordsOf(ge.V)
-		axis := -1
-		for a := range cu {
-			if cu[a] != cv[a] {
-				if axis >= 0 {
-					return nil, fmt.Errorf("grid: edge %d differs on two axes", i)
+	// Per-edge path lifting runs through the core arena builder: each
+	// worker appends its edges' lifted axis paths into a private dense
+	// arena, and the merged embedding adopts its route cache at build
+	// time. CrossProductReference is the retained golden model.
+	edges := g.Edges()
+	e, err := core.BuildParallel(q, g, vmap, axes[0].Width, 3,
+		func(i int, ar *core.Arena) error {
+			ge := edges[i]
+			cu := coordsOf(ge.U)
+			cv := coordsOf(ge.V)
+			axis := -1
+			for a := range cu {
+				if cu[a] != cv[a] {
+					if axis >= 0 {
+						return fmt.Errorf("grid: edge %d differs on two axes", i)
+					}
+					axis = a
 				}
-				axis = a
 			}
-		}
-		var axPaths []core.Path
-		switch {
-		case cv[axis] == cu[axis]+1:
-			axPaths = axes[axis].Fwd[cu[axis]]
-			out.EdgeForward[i] = true
-		case cv[axis] == cu[axis]-1:
-			axPaths = axes[axis].Bwd[cv[axis]]
-		default:
-			return nil, fmt.Errorf("grid: edge %d is not a unit step", i)
-		}
-		out.EdgeAxis[i] = axis
-		axisMask := (hypercube.Node(1)<<uint(axes[axis].A) - 1) << uint(offsets[axis])
-		base := e.VertexMap[ge.U] &^ axisMask
-		paths := make([]core.Path, len(axPaths))
-		for j, p := range axPaths {
-			lifted := make(core.Path, len(p))
-			for t, node := range p {
-				lifted[t] = base | node<<uint(offsets[axis])
+			var axPaths []core.Path
+			switch {
+			case cv[axis] == cu[axis]+1:
+				axPaths = axes[axis].Fwd[cu[axis]]
+				out.EdgeForward[i] = true
+			case cv[axis] == cu[axis]-1:
+				axPaths = axes[axis].Bwd[cv[axis]]
+			default:
+				return fmt.Errorf("grid: edge %d is not a unit step", i)
 			}
-			paths[j] = lifted
-		}
-		e.Paths[i] = paths
+			out.EdgeAxis[i] = axis
+			shift := uint(offsets[axis])
+			axisMask := (hypercube.Node(1)<<uint(axes[axis].A) - 1) << shift
+			base := vmap[ge.U] &^ axisMask
+			for _, p := range axPaths {
+				ar.StartRoute(base | p[0]<<shift)
+				for _, node := range p[1:] {
+					ar.Step(base | node<<shift)
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	out.Embedding = e
 	return out, nil
 }
 

@@ -82,20 +82,9 @@ func Load2Torus(a, k int) (*GridEmbedding, error) {
 		}
 		return h
 	}
-	e := &core.Embedding{
-		Host:      q,
-		Guest:     g,
-		VertexMap: make([]hypercube.Node, total),
-		Paths:     make([][]core.Path, g.M()),
-	}
-	out := &GridEmbedding{
-		Embedding:   e,
-		Sides:       sides,
-		EdgeAxis:    make([]int, g.M()),
-		EdgeForward: make([]bool, g.M()),
-	}
+	vmap := make([]hypercube.Node, total)
 	for v := int32(0); int(v) < total; v++ {
-		e.VertexMap[v] = place(coordsOf(v))
+		vmap[v] = place(coordsOf(v))
 	}
 	// Reverse paths of the axis embedding, built once.
 	revPaths := make([][]core.Path, len(axis.Paths))
@@ -110,38 +99,50 @@ func Load2Torus(a, k int) (*GridEmbedding, error) {
 		}
 		revPaths[i] = rp
 	}
-	for i, ge := range g.Edges() {
-		cu := coordsOf(ge.U)
-		cv := coordsOf(ge.V)
-		axisT := -1
-		for t := range cu {
-			if cu[t] != cv[t] {
-				axisT = t
-				break
-			}
-		}
-		forward := cv[axisT] == (cu[axisT]+1)%side
-		var ps []core.Path
-		if forward {
-			ps = axis.Paths[cu[axisT]]
-			out.EdgeForward[i] = true
-		} else {
-			ps = revPaths[cv[axisT]]
-		}
-		out.EdgeAxis[i] = axisT
-		shift := uint((k - 1 - axisT) * a)
-		mask := (hypercube.Node(1)<<uint(a) - 1) << shift
-		base := e.VertexMap[ge.U] &^ mask
-		lifted := make([]core.Path, len(ps))
-		for j, p := range ps {
-			lp := make(core.Path, len(p))
-			for t2, node := range p {
-				lp[t2] = base | node<<shift
-			}
-			lifted[j] = lp
-		}
-		e.Paths[i] = lifted
+	out := &GridEmbedding{
+		Sides:       sides,
+		EdgeAxis:    make([]int, g.M()),
+		EdgeForward: make([]bool, g.M()),
 	}
+	// Edge lifting through the core arena builder; Load2TorusReference
+	// is the retained golden model.
+	edges := g.Edges()
+	e, err := core.BuildParallel(q, g, vmap, len(axis.Paths[0]), 3,
+		func(i int, ar *core.Arena) error {
+			ge := edges[i]
+			cu := coordsOf(ge.U)
+			cv := coordsOf(ge.V)
+			axisT := -1
+			for t := range cu {
+				if cu[t] != cv[t] {
+					axisT = t
+					break
+				}
+			}
+			forward := cv[axisT] == (cu[axisT]+1)%side
+			var ps []core.Path
+			if forward {
+				ps = axis.Paths[cu[axisT]]
+				out.EdgeForward[i] = true
+			} else {
+				ps = revPaths[cv[axisT]]
+			}
+			out.EdgeAxis[i] = axisT
+			shift := uint((k - 1 - axisT) * a)
+			mask := (hypercube.Node(1)<<uint(a) - 1) << shift
+			base := vmap[ge.U] &^ mask
+			for _, p := range ps {
+				ar.StartRoute(base | p[0]<<shift)
+				for _, node := range p[1:] {
+					ar.Step(base | node<<shift)
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out.Embedding = e
 	return out, nil
 }
 

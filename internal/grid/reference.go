@@ -1,0 +1,247 @@
+package grid
+
+import (
+	"fmt"
+
+	"multipath/internal/bitutil"
+	"multipath/internal/core"
+	"multipath/internal/cycles"
+	"multipath/internal/graph"
+	"multipath/internal/guests"
+	"multipath/internal/hypercube"
+)
+
+// Retained slice-of-slices builders: the original CrossProduct and
+// Load2Torus path-lifting loops, kept verbatim as golden models for the
+// arena-backed versions. The equivalence tests pin VertexMap, Paths and
+// the per-edge axis/direction labels deeply equal.
+
+// CrossProductReference is the retained slice-of-slices builder of
+// Corollary 1's grid embedding.
+func CrossProductReference(sides []int) (*GridEmbedding, error) {
+	if len(sides) == 0 {
+		return nil, fmt.Errorf("grid: no axes")
+	}
+	total := 0
+	for _, L := range sides {
+		a := bitutil.CeilLog2(L)
+		if a < 4 {
+			a = 4
+		}
+		total += a
+	}
+	if total > 26 {
+		return nil, fmt.Errorf("grid: host dimension %d too large", total)
+	}
+	axes := make([]*AxisEmbedding, len(sides))
+	for i, L := range sides {
+		ax, err := EmbedAxis(L)
+		if err != nil {
+			return nil, err
+		}
+		axes[i] = ax
+	}
+	q := hypercube.New(total)
+	offsets := make([]int, len(axes))
+	off := 0
+	for i := len(axes) - 1; i >= 0; i-- {
+		offsets[i] = off
+		off += axes[i].A
+	}
+	g := guests.Grid(sides, false)
+	strides := make([]int, len(sides))
+	strides[len(sides)-1] = 1
+	for a := len(sides) - 2; a >= 0; a-- {
+		strides[a] = strides[a+1] * sides[a+1]
+	}
+	coordsOf := func(v int32) []int {
+		out := make([]int, len(sides))
+		rem := int(v)
+		for a := range sides {
+			out[a] = rem / strides[a]
+			rem %= strides[a]
+		}
+		return out
+	}
+	place := func(coords []int) hypercube.Node {
+		var h hypercube.Node
+		for a, x := range coords {
+			h |= axes[a].Nodes[x] << uint(offsets[a])
+		}
+		return h
+	}
+	e := &core.Embedding{
+		Host:      q,
+		Guest:     g,
+		VertexMap: make([]hypercube.Node, g.N()),
+		Paths:     make([][]core.Path, g.M()),
+	}
+	out := &GridEmbedding{
+		Embedding:   e,
+		Sides:       append([]int(nil), sides...),
+		EdgeAxis:    make([]int, g.M()),
+		EdgeForward: make([]bool, g.M()),
+	}
+	for v := int32(0); int(v) < g.N(); v++ {
+		e.VertexMap[v] = place(coordsOf(v))
+	}
+	for i, ge := range g.Edges() {
+		cu := coordsOf(ge.U)
+		cv := coordsOf(ge.V)
+		axis := -1
+		for a := range cu {
+			if cu[a] != cv[a] {
+				if axis >= 0 {
+					return nil, fmt.Errorf("grid: edge %d differs on two axes", i)
+				}
+				axis = a
+			}
+		}
+		var axPaths []core.Path
+		switch {
+		case cv[axis] == cu[axis]+1:
+			axPaths = axes[axis].Fwd[cu[axis]]
+			out.EdgeForward[i] = true
+		case cv[axis] == cu[axis]-1:
+			axPaths = axes[axis].Bwd[cv[axis]]
+		default:
+			return nil, fmt.Errorf("grid: edge %d is not a unit step", i)
+		}
+		out.EdgeAxis[i] = axis
+		axisMask := (hypercube.Node(1)<<uint(axes[axis].A) - 1) << uint(offsets[axis])
+		base := e.VertexMap[ge.U] &^ axisMask
+		paths := make([]core.Path, len(axPaths))
+		for j, p := range axPaths {
+			lifted := make(core.Path, len(p))
+			for t, node := range p {
+				lifted[t] = base | node<<uint(offsets[axis])
+			}
+			paths[j] = lifted
+		}
+		e.Paths[i] = paths
+	}
+	return out, nil
+}
+
+// Load2TorusReference is the retained slice-of-slices builder of the
+// load-2^k torus embedding.
+func Load2TorusReference(a, k int) (*GridEmbedding, error) {
+	if k < 1 || a*k > 24 {
+		return nil, fmt.Errorf("grid: unsupported torus parameters a=%d k=%d", a, k)
+	}
+	axis, err := cycles.Theorem2(a)
+	if err != nil {
+		return nil, err
+	}
+	side := axis.Guest.N() // 2^{a+1}
+	q := hypercube.New(a * k)
+
+	sides := make([]int, k)
+	strides := make([]int, k)
+	for i := range sides {
+		sides[i] = side
+	}
+	strides[k-1] = 1
+	for t := k - 2; t >= 0; t-- {
+		strides[t] = strides[t+1] * side
+	}
+	total := 1
+	for range sides {
+		total *= side
+	}
+	g := graph.New(total)
+	for v := 0; v < total; v++ {
+		rem := v
+		for t := 0; t < k; t++ {
+			x := rem / strides[t]
+			rem %= strides[t]
+			next := v + strides[t]
+			if x == side-1 {
+				next = v - (side-1)*strides[t]
+			}
+			g.AddEdge(int32(v), int32(next))
+			prev := v - strides[t]
+			if x == 0 {
+				prev = v + (side-1)*strides[t]
+			}
+			g.AddEdge(int32(v), int32(prev))
+		}
+	}
+
+	coordsOf := func(v int32) []int {
+		out := make([]int, k)
+		rem := int(v)
+		for t := 0; t < k; t++ {
+			out[t] = rem / strides[t]
+			rem %= strides[t]
+		}
+		return out
+	}
+	place := func(coords []int) hypercube.Node {
+		var h hypercube.Node
+		for t, x := range coords {
+			h |= axis.VertexMap[x] << uint((k-1-t)*a)
+		}
+		return h
+	}
+	e := &core.Embedding{
+		Host:      q,
+		Guest:     g,
+		VertexMap: make([]hypercube.Node, total),
+		Paths:     make([][]core.Path, g.M()),
+	}
+	out := &GridEmbedding{
+		Embedding:   e,
+		Sides:       sides,
+		EdgeAxis:    make([]int, g.M()),
+		EdgeForward: make([]bool, g.M()),
+	}
+	for v := int32(0); int(v) < total; v++ {
+		e.VertexMap[v] = place(coordsOf(v))
+	}
+	revPaths := make([][]core.Path, len(axis.Paths))
+	for i, ps := range axis.Paths {
+		rp := make([]core.Path, len(ps))
+		for j, p := range ps {
+			r := make(core.Path, len(p))
+			for t2, node := range p {
+				r[len(p)-1-t2] = node
+			}
+			rp[j] = r
+		}
+		revPaths[i] = rp
+	}
+	for i, ge := range g.Edges() {
+		cu := coordsOf(ge.U)
+		cv := coordsOf(ge.V)
+		axisT := -1
+		for t := range cu {
+			if cu[t] != cv[t] {
+				axisT = t
+				break
+			}
+		}
+		forward := cv[axisT] == (cu[axisT]+1)%side
+		var ps []core.Path
+		if forward {
+			ps = axis.Paths[cu[axisT]]
+			out.EdgeForward[i] = true
+		} else {
+			ps = revPaths[cv[axisT]]
+		}
+		out.EdgeAxis[i] = axisT
+		shift := uint((k - 1 - axisT) * a)
+		mask := (hypercube.Node(1)<<uint(a) - 1) << shift
+		base := e.VertexMap[ge.U] &^ mask
+		lifted := make([]core.Path, len(ps))
+		for j, p := range ps {
+			lp := make(core.Path, len(p))
+			for t2, node := range p {
+				lp[t2] = base | node<<shift
+			}
+			lifted[j] = lp
+		}
+		e.Paths[i] = lifted
+	}
+	return out, nil
+}

@@ -66,6 +66,18 @@ type Engine struct {
 	arrivals []int32
 	enq      []int32
 
+	// Wormhole scratch (SimulateWormhole shares the numbering pass and
+	// the crossed array; the channel-holding state below is its own).
+	whHead, whTail []int32
+	whDone         []bool
+	whWaitNext     []int32
+	whWaitingOn    []int32
+	whHolder       []int32
+	whWaitHead     []int32
+	whWaitTail     []int32
+	whWaitLen      []int
+	whMoves        []int32
+
 	res *Result
 }
 

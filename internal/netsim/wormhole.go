@@ -46,49 +46,68 @@ func (e *ErrDeadlock) Error() string {
 // SimulateWormhole runs the channel-holding wormhole model to
 // completion or deadlock. Link arbitration is FIFO by request step,
 // ties broken by message id.
+//
+// Like Simulate, it borrows a pooled Engine: the generation-stamped
+// link-numbering pass and all per-run scratch are reused across calls,
+// so a warm call allocates nothing beyond the result.
 func SimulateWormhole(msgs []*Message) (*WormholeResult, error) {
-	// Dense link numbering over the routes; flat position state.
+	e := enginePool.Get().(*Engine)
+	res, err := e.simulateWormhole(msgs)
+	enginePool.Put(e)
+	return res, err
+}
+
+func (e *Engine) simulateWormhole(msgs []*Message) (*WormholeResult, error) {
+	// Dense link numbering over the routes (shared with Engine.Simulate;
+	// ids are assigned in first-appearance order, matching the original
+	// map-based pass) and flat position state.
 	total := 0
+	minID, maxID := 0, -1
+	seen := false
 	for i, m := range msgs {
 		if m.Flits < 1 {
 			return nil, fmt.Errorf("netsim: message %d has %d flits", i, m.Flits)
 		}
+		for _, id := range m.Route {
+			if !seen || id < minID {
+				minID = id
+			}
+			if !seen || id > maxID {
+				maxID = id
+			}
+			seen = true
+		}
 		total += len(m.Route)
 	}
-	dense := make(map[int]int32, total)
-	route := make([]int32, total) // dense link id per position
-	off := make([]int32, len(msgs)+1)
-	pos := int32(0)
-	for i, m := range msgs {
-		off[i] = pos
-		for _, id := range m.Route {
-			d, ok := dense[id]
-			if !ok {
-				d = int32(len(dense))
-				dense[id] = d
-			}
-			route[pos] = d
-			pos++
-		}
+	links := int(e.number(msgs, total, minID, maxID))
+	route, off := e.route, e.off
+
+	crossed := grow(e.crossed, total) // flits across each route position
+	head := grow(e.whHead, len(msgs))
+	tail := grow(e.whTail, len(msgs))
+	done := grow(e.whDone, len(msgs))
+	waitNext := grow(e.whWaitNext, len(msgs)) // intrusive waiter FIFO
+	waitingOn := grow(e.whWaitingOn, len(msgs))
+	e.crossed, e.whHead, e.whTail, e.whDone = crossed, head, tail, done
+	e.whWaitNext, e.whWaitingOn = waitNext, waitingOn
+	for p := 0; p < total; p++ {
+		crossed[p] = 0
 	}
-	off[len(msgs)] = pos
-	links := len(dense)
+	for i := range msgs {
+		tail[i] = 0
+		done[i] = false
+	}
 
-	crossed := make([]int, total) // flits across each route position
-	head := make([]int32, len(msgs))
-	tail := make([]int32, len(msgs))
-	done := make([]bool, len(msgs))
-	waitNext := make([]int32, len(msgs)) // intrusive waiter FIFO
-	waitingOn := make([]int32, len(msgs))
-
-	holder := make([]int32, links) // link → message id, -1 free
-	waitHead := make([]int32, links)
-	waitTail := make([]int32, links)
-	waitLen := make([]int, links)
+	holder := grow(e.whHolder, links) // link → message id, -1 free
+	waitHead := grow(e.whWaitHead, links)
+	waitTail := grow(e.whWaitTail, links)
+	waitLen := grow(e.whWaitLen, links)
+	e.whHolder, e.whWaitHead, e.whWaitTail, e.whWaitLen = holder, waitHead, waitTail, waitLen
 	for l := 0; l < links; l++ {
 		holder[l] = -1
 		waitHead[l] = -1
 		waitTail[l] = -1
+		waitLen[l] = 0
 	}
 
 	res := &WormholeResult{}
@@ -115,7 +134,7 @@ func SimulateWormhole(msgs []*Message) (*WormholeResult, error) {
 		}
 	}
 
-	moves := make([]int32, 0, links) // positions crossing this step
+	moves := e.whMoves[:0] // positions crossing this step
 	step := 0
 	for remaining > 0 {
 		step++
@@ -218,5 +237,6 @@ func SimulateWormhole(msgs []*Message) (*WormholeResult, error) {
 	}
 	res.Steps = step
 	res.DeliveredMsgs += countEmptyRoutes(msgs)
+	e.whMoves = moves
 	return res, nil
 }

@@ -160,3 +160,21 @@ func BenchmarkWormholePermutation(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSimulateWormhole measures the steady-state cost of the
+// pooled wormhole simulator alone: the message set is built once, so
+// allocs/op shows what a warm call costs (the result struct and pool
+// traffic, not a per-call link-numbering map).
+func BenchmarkSimulateWormhole(b *testing.B) {
+	q := hypercube.New(8)
+	rng := rand.New(rand.NewSource(3))
+	perm := RandomPermutation(rng, q.Nodes())
+	msgs := PermutationMessages(q, perm, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateWormhole(msgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

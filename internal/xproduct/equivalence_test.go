@@ -1,0 +1,93 @@
+package xproduct
+
+import (
+	"reflect"
+	"testing"
+
+	"multipath/internal/guests"
+)
+
+// The arena-backed xproduct builders must reproduce the retained
+// slice-of-slices golden models exactly.
+
+func TestTheorem4MatchesReference(t *testing.T) {
+	// Dilation-1 cycle copies and the dilation-2 butterfly copies of
+	// Theorem 5 both go through the same replay loop.
+	ccopies := cycleCopies(t, 4)
+	ip, e, err := Theorem4(ccopies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rip, ref, err := Theorem4Reference(ccopies)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	if !reflect.DeepEqual(ip.Labels, rip.Labels) {
+		t.Fatal("labels differ from reference")
+	}
+	if !reflect.DeepEqual(e.VertexMap, ref.VertexMap) {
+		t.Fatal("VertexMap differs from reference")
+	}
+	if !reflect.DeepEqual(e.Paths, ref.Paths) {
+		t.Fatal("Paths differ from reference")
+	}
+
+	bcopies, err := ButterflyCopies(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, be, err := Theorem4(bcopies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bref, err := Theorem4Reference(bcopies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(be.Paths, bref.Paths) {
+		t.Fatal("butterfly copies: Paths differ from reference")
+	}
+}
+
+func TestTheorem5MatchesReference(t *testing.T) {
+	for _, m := range []int{2, 4} {
+		if m == 4 && testing.Short() {
+			continue
+		}
+		e, err := Theorem5(m)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		ref, err := Theorem5Reference(m)
+		if err != nil {
+			t.Fatalf("m=%d: reference: %v", m, err)
+		}
+		if !reflect.DeepEqual(e.XVertex, ref.XVertex) {
+			t.Fatalf("m=%d: XVertex differs from reference", m)
+		}
+		if !reflect.DeepEqual(e.VertexMap, ref.VertexMap) {
+			t.Fatalf("m=%d: VertexMap differs from reference", m)
+		}
+		if !reflect.DeepEqual(e.Paths, ref.Paths) {
+			t.Fatalf("m=%d: Paths differ from reference", m)
+		}
+	}
+}
+
+func TestArbitraryTreeMatchesReference(t *testing.T) {
+	tree := guests.RandomBinaryTree(14, 7)
+	e, err := ArbitraryTree(2, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ArbitraryTreeReference(2, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e.VertexMap, ref.VertexMap) {
+		t.Fatal("VertexMap differs from reference")
+	}
+	if !reflect.DeepEqual(e.Paths, ref.Paths) {
+		t.Fatal("Paths differ from reference")
+	}
+}

@@ -1,0 +1,145 @@
+package xproduct
+
+import (
+	"fmt"
+
+	"multipath/internal/core"
+	"multipath/internal/graph"
+	"multipath/internal/hypercube"
+)
+
+// Retained slice-of-slices builders: the original per-edge assembly
+// loops of Theorem4, Theorem5 and ArbitraryTree, kept as golden models
+// for the arena-backed versions. They share the combinatorial skeletons
+// (theorem4Product, theorem5Setup, arbitraryTreeSetup) with the live
+// builders; only the path materialization differs.
+
+// Theorem4Reference is the retained builder of Theorem4.
+func Theorem4Reference(copies []*core.Embedding) (*InducedProduct, *core.Embedding, error) {
+	ip, err := theorem4Product(copies)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, size := ip.N, 1<<uint(ip.N)
+	q := hypercube.New(2 * n)
+	e := &core.Embedding{
+		Host:      q,
+		Guest:     ip.Graph,
+		VertexMap: make([]hypercube.Node, ip.Graph.N()),
+		Paths:     make([][]core.Path, ip.Graph.M()),
+	}
+	for v := range e.VertexMap {
+		e.VertexMap[v] = hypercube.Node(v)
+	}
+	mEdges := ip.Guest.M()
+	low := uint(n)
+	for idx, xe := range ip.Graph.Edges() {
+		isRow, block, gi := theorem4EdgePos(idx, size, mEdges)
+		route := copies[ip.Labels[block]].Paths[gi][0]
+		paths := make([]core.Path, n)
+		u := hypercube.Node(xe.U)
+		v := hypercube.Node(xe.V)
+		for k := 0; k < n; k++ {
+			var detour int
+			if isRow {
+				detour = n + k
+			} else {
+				detour = k
+			}
+			p := make(core.Path, 0, len(route)+2)
+			p = append(p, u)
+			mid := u ^ 1<<uint(detour)
+			for _, step := range route {
+				var node hypercube.Node
+				if isRow {
+					node = mid&^(hypercube.Node(size-1)) | step
+				} else {
+					node = mid&(hypercube.Node(size-1)) | step<<low
+				}
+				p = append(p, node)
+			}
+			p = append(p, v)
+			paths[k] = p
+		}
+		e.Paths[idx] = paths
+	}
+	return ip, e, nil
+}
+
+// Theorem5Reference is the retained builder of Theorem5: forward tree
+// edges alias the X embedding's path sets, reverse edges get copied
+// reversals.
+func Theorem5Reference(m int) (*CBTEmbedding, error) {
+	sk, err := theorem5Setup(m)
+	if err != nil {
+		return nil, err
+	}
+	e := &core.Embedding{
+		Host:      sk.xe.Host,
+		Guest:     sk.g,
+		VertexMap: make([]hypercube.Node, len(sk.xv)),
+		Paths:     make([][]core.Path, sk.g.M()),
+	}
+	for t, x := range sk.xv {
+		e.VertexMap[t] = hypercube.Node(x)
+	}
+	for idx, ge := range sk.g.Edges() {
+		u, v := sk.xv[ge.U], sk.xv[ge.V]
+		xi, ok := sk.edgeIdx[[2]int32{u, v}]
+		if ok {
+			e.Paths[idx] = sk.xe.Paths[xi]
+			continue
+		}
+		xi, ok = sk.edgeIdx[[2]int32{v, u}]
+		if !ok {
+			return nil, fmt.Errorf("xproduct: CBT edge (%d,%d) maps to non-edge of X", ge.U, ge.V)
+		}
+		fwd := sk.xe.Paths[xi]
+		rev := make([]core.Path, len(fwd))
+		for k, p := range fwd {
+			r := make(core.Path, len(p))
+			for t2, node := range p {
+				r[len(p)-1-t2] = node
+			}
+			rev[k] = r
+		}
+		e.Paths[idx] = rev
+	}
+	return &CBTEmbedding{Embedding: e, M: m, Levels: sk.levels, XVertex: sk.xv}, nil
+}
+
+// ArbitraryTreeReference is the retained builder of ArbitraryTree.
+func ArbitraryTreeReference(m int, tree *graph.Graph) (*core.Embedding, error) {
+	cbt, place, cbtEdge, err := arbitraryTreeSetup(m, tree)
+	if err != nil {
+		return nil, err
+	}
+	e := &core.Embedding{
+		Host:      cbt.Host,
+		Guest:     tree,
+		VertexMap: make([]hypercube.Node, tree.N()),
+		Paths:     make([][]core.Path, tree.M()),
+	}
+	width := len(cbt.Paths[0])
+	for v := range e.VertexMap {
+		e.VertexMap[v] = cbt.VertexMap[place[v]]
+	}
+	for i, ge := range tree.Edges() {
+		hops := CBTPath(place[ge.U], place[ge.V])
+		paths := make([]core.Path, width)
+		for k := range paths {
+			p := core.Path{e.VertexMap[ge.U]}
+			for h := 0; h+1 < len(hops); h++ {
+				idx, ok := cbtEdge[[2]int32{hops[h], hops[h+1]}]
+				if !ok {
+					return nil, fmt.Errorf("xproduct: missing CBT edge (%d,%d)", hops[h], hops[h+1])
+				}
+				seg := cbt.Paths[idx][k]
+				p = append(p, seg[1:]...)
+			}
+			paths[k] = p
+		}
+		e.Paths[i] = paths
+	}
+	return e, nil
+}

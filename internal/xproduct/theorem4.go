@@ -37,24 +37,82 @@ type InducedProduct struct {
 // and G has maximum out-degree δ, the paths admit a (c+2δ)-step
 // schedule, which VerifyBandedCost checks.
 func Theorem4(copies []*core.Embedding) (*InducedProduct, *core.Embedding, error) {
+	ip, err := theorem4Product(copies)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, size := ip.N, 1<<uint(ip.N)
+	q := hypercube.New(2 * n)
+	vmap := make([]hypercube.Node, ip.Graph.N())
+	for v := range vmap {
+		vmap[v] = hypercube.Node(v) // ⟨i,j⟩ = i·2^n + j is its own address
+	}
+
+	// Per-edge path assembly runs through the core arena builder (edges
+	// of X(G) are independent), so the returned embedding adopts its
+	// dense route cache at build time; Theorem4Reference is the retained
+	// golden model.
+	mEdges := ip.Guest.M()
+	low := uint(n)
+	edges := ip.Graph.Edges()
+	hintLen := 3
+	if mEdges > 0 && len(copies[0].Paths[0]) > 0 {
+		hintLen = len(copies[0].Paths[0][0]) + 1
+	}
+	e, err := core.BuildParallel(q, ip.Graph, vmap, n, hintLen,
+		func(idx int, a *core.Arena) error {
+			isRow, block, gi := theorem4EdgePos(idx, size, mEdges)
+			route := copies[ip.Labels[block]].Paths[gi][0]
+			u := hypercube.Node(edges[idx].U)
+			v := hypercube.Node(edges[idx].V)
+			for k := 0; k < n; k++ {
+				var detour int
+				if isRow {
+					detour = n + k // cross into a neighboring row
+				} else {
+					detour = k // cross into a neighboring column
+				}
+				a.StartRoute(u)
+				mid := u ^ 1<<uint(detour)
+				// Replay the copy's route in the displaced row/column.
+				for _, step := range route {
+					if isRow {
+						a.Step(mid&^(hypercube.Node(size-1)) | step)
+					} else {
+						a.Step(mid&(hypercube.Node(size-1)) | step<<low)
+					}
+				}
+				a.Step(v)
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return ip, e, nil
+}
+
+// theorem4Product validates the copies and builds X(G) with its labels
+// — the skeleton shared by Theorem4 and Theorem4Reference.
+func theorem4Product(copies []*core.Embedding) (*InducedProduct, error) {
 	if len(copies) == 0 {
-		return nil, nil, fmt.Errorf("xproduct: no copies")
+		return nil, fmt.Errorf("xproduct: no copies")
 	}
 	guest := copies[0].Guest
 	n := copies[0].Host.Dims()
 	if guest.N() != 1<<uint(n) {
-		return nil, nil, fmt.Errorf("xproduct: guest has %d vertices, host Q_%d needs 2^%d", guest.N(), n, n)
+		return nil, fmt.Errorf("xproduct: guest has %d vertices, host Q_%d needs 2^%d", guest.N(), n, n)
 	}
 	labelCount := 1 << uint(bitutil.CeilLog2(n))
 	if len(copies) != labelCount {
-		return nil, nil, fmt.Errorf("xproduct: need %d copies (2^⌈log n⌉), got %d (pad by repeating)", labelCount, len(copies))
+		return nil, fmt.Errorf("xproduct: need %d copies (2^⌈log n⌉), got %d (pad by repeating)", labelCount, len(copies))
 	}
 	for k, c := range copies {
 		if c.Host.Dims() != n {
-			return nil, nil, fmt.Errorf("xproduct: copy %d host mismatch", k)
+			return nil, fmt.Errorf("xproduct: copy %d host mismatch", k)
 		}
 		if !c.OneToOne() {
-			return nil, nil, fmt.Errorf("xproduct: copy %d is not one-to-one", k)
+			return nil, fmt.Errorf("xproduct: copy %d is not one-to-one", k)
 		}
 	}
 
@@ -78,66 +136,19 @@ func Theorem4(copies []*core.Embedding) (*InducedProduct, *core.Embedding, error
 		rows[i] = autos[labels[i]]
 	}
 	xg := graph.GeneralizedProduct(rows, rows)
+	return &InducedProduct{N: n, Guest: guest, Graph: xg, Labels: labels}, nil
+}
 
-	q := hypercube.New(2 * n)
-	e := &core.Embedding{
-		Host:      q,
-		Guest:     xg,
-		VertexMap: make([]hypercube.Node, xg.N()),
-		Paths:     make([][]core.Path, xg.M()),
+// theorem4EdgePos recovers (row or column, block index, guest edge)
+// from an X(G) edge position: row and column subgraphs list their
+// edges in the same order as guest.Edges() (Apply preserves order), and
+// GeneralizedProduct appends all row edges (grouped by row) then all
+// column edges (grouped by column).
+func theorem4EdgePos(idx, size, mEdges int) (isRow bool, block, gi int) {
+	if idx < size*mEdges {
+		return true, idx / mEdges, idx % mEdges
 	}
-	for v := range e.VertexMap {
-		e.VertexMap[v] = hypercube.Node(v) // ⟨i,j⟩ = i·2^n + j is its own address
-	}
-
-	// Row and column subgraphs list their edges in the same order as
-	// guest.Edges() (Apply preserves order), and GeneralizedProduct
-	// appends all row edges (grouped by row) then all column edges
-	// (grouped by column). Recover (which, index, guest edge) from the
-	// X(G) edge position.
-	mEdges := guest.M()
-	low := uint(n)
-	for idx, xe := range xg.Edges() {
-		var isRow bool
-		var block, gi int
-		if idx < size*mEdges {
-			isRow = true
-			block, gi = idx/mEdges, idx%mEdges
-		} else {
-			block, gi = (idx-size*mEdges)/mEdges, (idx-size*mEdges)%mEdges
-		}
-		label := labels[block]
-		route := copies[label].Paths[gi][0]
-		paths := make([]core.Path, n)
-		u := hypercube.Node(xe.U)
-		v := hypercube.Node(xe.V)
-		for k := 0; k < n; k++ {
-			var detour int
-			if isRow {
-				detour = n + k // cross into a neighboring row
-			} else {
-				detour = k // cross into a neighboring column
-			}
-			p := make(core.Path, 0, len(route)+2)
-			p = append(p, u)
-			mid := u ^ 1<<uint(detour)
-			// Replay the copy's route in the displaced row/column.
-			for _, step := range route {
-				var node hypercube.Node
-				if isRow {
-					node = mid&^(hypercube.Node(size-1)) | step
-				} else {
-					node = mid&(hypercube.Node(size-1)) | step<<low
-				}
-				p = append(p, node)
-			}
-			p = append(p, v)
-			paths[k] = p
-		}
-		e.Paths[idx] = paths
-	}
-	ip := &InducedProduct{N: n, Guest: guest, Graph: xg, Labels: labels}
-	return ip, e, nil
+	return false, (idx - size*mEdges) / mEdges, (idx - size*mEdges) % mEdges
 }
 
 // BandedCongestion returns the three quantities Theorem 4's cost

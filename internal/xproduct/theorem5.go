@@ -67,10 +67,68 @@ type CBTEmbedding struct {
 	XVertex []int32
 }
 
+// theorem5Skeleton is the shared combinatorial core of Theorem5 and
+// Theorem5Reference: the X(Butterfly_m) embedding, the CBT guest, the
+// CBT-vertex → X-vertex placement, and the X edge index.
+type theorem5Skeleton struct {
+	xe      *core.Embedding
+	g       *graph.Graph // CBT guest (both orientations)
+	xv      []int32      // XVertex per CBT heap index
+	levels  int
+	edgeIdx map[[2]int32]int // (u,v) → X edge index
+}
+
 // Theorem5 builds the width-n' CBT embedding for m a power of two
 // (m ∈ {2, 4}; larger m exceeds practical memory since X(G) has
 // 4^{m+log m} vertices).
+//
+// The final per-edge assembly replays each tree edge's X paths (or
+// their reversals) through the core arena builder, so the embedding's
+// dense route cache is adopted at build time; Theorem5Reference keeps
+// the original aliasing/copying loop as the golden model.
 func Theorem5(m int) (*CBTEmbedding, error) {
+	sk, err := theorem5Setup(m)
+	if err != nil {
+		return nil, err
+	}
+	vmap := make([]hypercube.Node, len(sk.xv))
+	for t, x := range sk.xv {
+		vmap[t] = hypercube.Node(x)
+	}
+	edges := sk.g.Edges()
+	width := len(sk.xe.Paths[0])
+	hintLen := len(sk.xe.Paths[0][0])
+	e, err := core.BuildParallel(sk.xe.Host, sk.g, vmap, width, hintLen,
+		func(idx int, a *core.Arena) error {
+			u, v := sk.xv[edges[idx].U], sk.xv[edges[idx].V]
+			if xi, ok := sk.edgeIdx[[2]int32{u, v}]; ok {
+				for _, p := range sk.xe.Paths[xi] {
+					a.Route(p...)
+				}
+				return nil
+			}
+			// Reverse orientation: replay the forward X edge's paths
+			// backwards.
+			xi, ok := sk.edgeIdx[[2]int32{v, u}]
+			if !ok {
+				return fmt.Errorf("xproduct: CBT edge (%d,%d) maps to non-edge of X", edges[idx].U, edges[idx].V)
+			}
+			for _, p := range sk.xe.Paths[xi] {
+				a.StartRoute(p[len(p)-1])
+				for t := len(p) - 2; t >= 0; t-- {
+					a.Step(p[t])
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &CBTEmbedding{Embedding: e, M: m, Levels: sk.levels, XVertex: sk.xv}, nil
+}
+
+// theorem5Setup builds everything up to the per-edge path assembly.
+func theorem5Setup(m int) (*theorem5Skeleton, error) {
 	if m != 2 && m != 4 {
 		return nil, fmt.Errorf("xproduct: Theorem 5 supported for m ∈ {2,4}, got %d", m)
 	}
@@ -87,10 +145,9 @@ func Theorem5(m int) (*CBTEmbedding, error) {
 	bf := ccc.NewButterfly(m)
 
 	// Index X edges for path lookup: (u,v) → edge index.
-	type de struct{ u, v int32 }
-	edgeIdx := make(map[de]int, ip.Graph.M())
+	edgeIdx := make(map[[2]int32]int, ip.Graph.M())
 	for i, e := range ip.Graph.Edges() {
-		edgeIdx[de{e.U, e.V}] = i
+		edgeIdx[[2]int32{e.U, e.V}] = i
 	}
 
 	// Per-copy vertex maps and inverses (X row/column i uses copy
@@ -174,8 +231,8 @@ func Theorem5(m int) (*CBTEmbedding, error) {
 		xv[2*t+2] = i*int32(size) + phi[labI][r]
 	}
 
-	// Assemble the host embedding: CBT guest (both orientations), each
-	// tree edge inheriting the n paths of its X edge.
+	// CBT guest with both orientations; each tree edge will inherit the
+	// n paths of its X edge.
 	g := graph.New(treeSize)
 	for t := 0; 2*t+2 < treeSize+1; t++ {
 		if 2*t+1 < treeSize {
@@ -185,37 +242,5 @@ func Theorem5(m int) (*CBTEmbedding, error) {
 			g.AddUndirected(int32(t), int32(2*t+2))
 		}
 	}
-	e := &core.Embedding{
-		Host:      xe.Host,
-		Guest:     g,
-		VertexMap: make([]hypercube.Node, treeSize),
-		Paths:     make([][]core.Path, g.M()),
-	}
-	for t, x := range xv {
-		e.VertexMap[t] = hypercube.Node(x)
-	}
-	for idx, ge := range g.Edges() {
-		u, v := xv[ge.U], xv[ge.V]
-		xi, ok := edgeIdx[de{u, v}]
-		if ok {
-			e.Paths[idx] = xe.Paths[xi]
-			continue
-		}
-		// Reverse orientation: reverse the forward X edge's paths.
-		xi, ok = edgeIdx[de{v, u}]
-		if !ok {
-			return nil, fmt.Errorf("xproduct: CBT edge (%d,%d) maps to non-edge of X", ge.U, ge.V)
-		}
-		fwd := xe.Paths[xi]
-		rev := make([]core.Path, len(fwd))
-		for k, p := range fwd {
-			r := make(core.Path, len(p))
-			for t2, node := range p {
-				r[len(p)-1-t2] = node
-			}
-			rev[k] = r
-		}
-		e.Paths[idx] = rev
-	}
-	return &CBTEmbedding{Embedding: e, M: m, Levels: levels, XVertex: xv}, nil
+	return &theorem5Skeleton{xe: xe, g: g, xv: xv, levels: levels, edgeIdx: edgeIdx}, nil
 }

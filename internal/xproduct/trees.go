@@ -235,52 +235,62 @@ func CBTPath(a, b int32) []int32 {
 // end-to-end Width() check can report overlaps — the paper avoids this
 // only through [6]'s carefully interleaved universal-tree embedding,
 // which is out of scope (see DESIGN.md).
+// The per-edge concatenation runs through the core arena builder, so
+// the returned embedding's dense route cache is adopted at build time;
+// ArbitraryTreeReference keeps the original slice-of-slices loop as the
+// golden model.
 func ArbitraryTree(m int, tree *graph.Graph) (*core.Embedding, error) {
-	cbt, err := Theorem5(m)
+	cbt, place, cbtEdge, err := arbitraryTreeSetup(m, tree)
 	if err != nil {
 		return nil, err
 	}
+	vmap := make([]hypercube.Node, tree.N())
+	for v := range vmap {
+		vmap[v] = cbt.VertexMap[place[v]]
+	}
+	width := len(cbt.Paths[0])
+	edges := tree.Edges()
+	return core.BuildParallel(cbt.Host, tree, vmap, width, 4*len(cbt.Paths[0][0]),
+		func(i int, a *core.Arena) error {
+			ge := edges[i]
+			hops := CBTPath(place[ge.U], place[ge.V])
+			for k := 0; k < width; k++ {
+				a.StartRoute(vmap[ge.U])
+				for h := 0; h+1 < len(hops); h++ {
+					idx, ok := cbtEdge[[2]int32{hops[h], hops[h+1]}]
+					if !ok {
+						return fmt.Errorf("xproduct: missing CBT edge (%d,%d)", hops[h], hops[h+1])
+					}
+					seg := cbt.Paths[idx][k]
+					for _, node := range seg[1:] {
+						a.Step(node)
+					}
+				}
+			}
+			return nil
+		})
+}
+
+// arbitraryTreeSetup is the shared front half of ArbitraryTree and
+// ArbitraryTreeReference: the Theorem 5 host, the tree → CBT placement,
+// and the CBT (parent, child) → guest edge index of cbt.Guest.
+func arbitraryTreeSetup(m int, tree *graph.Graph) (*CBTEmbedding, []int32, map[[2]int32]int, error) {
+	cbt, err := Theorem5(m)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	levels := SuggestedLevels(tree.N())
 	if levels > cbt.Levels {
-		return nil, fmt.Errorf("xproduct: tree with %d vertices needs %d CBT levels, Theorem 5 host has %d",
+		return nil, nil, nil, fmt.Errorf("xproduct: tree with %d vertices needs %d CBT levels, Theorem 5 host has %d",
 			tree.N(), levels, cbt.Levels)
 	}
 	place, err := EmbedTreeInCBT(tree, cbt.Levels)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	// CBT edge (parent,child heap ids) → guest edge index of cbt.Guest.
-	type de struct{ u, v int32 }
-	cbtEdge := make(map[de]int, cbt.Guest.M())
+	cbtEdge := make(map[[2]int32]int, cbt.Guest.M())
 	for i, e := range cbt.Guest.Edges() {
-		cbtEdge[de{e.U, e.V}] = i
+		cbtEdge[[2]int32{e.U, e.V}] = i
 	}
-	e := &core.Embedding{
-		Host:      cbt.Host,
-		Guest:     tree,
-		VertexMap: make([]hypercube.Node, tree.N()),
-		Paths:     make([][]core.Path, tree.M()),
-	}
-	width := len(cbt.Paths[0])
-	for v := range e.VertexMap {
-		e.VertexMap[v] = cbt.VertexMap[place[v]]
-	}
-	for i, ge := range tree.Edges() {
-		hops := CBTPath(place[ge.U], place[ge.V])
-		paths := make([]core.Path, width)
-		for k := range paths {
-			p := core.Path{e.VertexMap[ge.U]}
-			for h := 0; h+1 < len(hops); h++ {
-				idx, ok := cbtEdge[de{hops[h], hops[h+1]}]
-				if !ok {
-					return nil, fmt.Errorf("xproduct: missing CBT edge (%d,%d)", hops[h], hops[h+1])
-				}
-				seg := cbt.Paths[idx][k]
-				p = append(p, seg[1:]...)
-			}
-			paths[k] = p
-		}
-		e.Paths[i] = paths
-	}
-	return e, nil
+	return cbt, place, cbtEdge, nil
 }

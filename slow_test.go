@@ -6,8 +6,12 @@ import "testing"
 // their independent verifiers at the biggest sizes a laptop handles in
 // about a minute. The dense metric engine moved the ceiling: under the
 // map-based verifiers, Theorem 1's width + synchronized-cost check at
-// n = 20 costs ~21 s on one core; the cached-route passes do the whole
-// n = 20 build + verify in ~3 s (timings in EXPERIMENTS.md).
+// n = 20 costs ~21 s on one core. With the arena builders (routes
+// emitted directly in dense form, route cache adopted at build — the
+// first verification no longer rebuilds it), the whole n = 20 build +
+// verify runs in ~2.2 s, and building alone now reaches n = 22 — a
+// 4M-node host with 50M path hops — in a few seconds (timings in
+// EXPERIMENTS.md).
 
 func TestLargeScaleTheorem1(t *testing.T) {
 	if testing.Short() {
@@ -30,6 +34,37 @@ func TestLargeScaleTheorem1(t *testing.T) {
 	}
 	if c != 3 {
 		t.Errorf("cost %d", c)
+	}
+}
+
+// TestLargeScaleTheorem1BuildN22 is build-only: at n = 22 the metric
+// sweep would dominate the suite, but construction itself — the arena
+// fan-out plus route-cache adoption — stays fast enough to pin. The
+// checks are structural (the verifiers' correctness is pinned at
+// n ≤ 20 above and by the equivalence tests at small n).
+func TestLargeScaleTheorem1BuildN22(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large")
+	}
+	const n = 22
+	e, err := CycleWidthEmbedding(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.VertexMap) != 1<<n {
+		t.Fatalf("vertex map covers %d nodes, want 2^%d", len(e.VertexMap), n)
+	}
+	if len(e.Paths) != e.Guest.M() {
+		t.Fatalf("%d path sets for %d guest edges", len(e.Paths), e.Guest.M())
+	}
+	want := len(e.Paths[0])
+	if want < 2 {
+		t.Fatalf("only %d paths per edge", want)
+	}
+	for i, ps := range e.Paths {
+		if len(ps) != want {
+			t.Fatalf("edge %d has %d paths, others %d", i, len(ps), want)
+		}
 	}
 }
 
