@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short race bench experiments examples cover clean
+.PHONY: all check build vet test test-short race bench experiments examples fuzz-short cover clean
 
 all: check
 
@@ -29,11 +29,28 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-# Go benchmarks, then a full mpbench run to refresh both perf records
-# (BENCH_netsim.json and BENCH_construct.json).
+# Go benchmarks, then a full mpbench run to refresh all three perf
+# records (BENCH_netsim.json, BENCH_construct.json, BENCH_faults.json).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/mpbench > /dev/null
+
+# Short coverage-guided fuzz smoke: every fuzz target for a bounded
+# wall-clock slice (go test -fuzz takes exactly one target per run).
+# CI runs this on top of the checked-in regression corpora that plain
+# `go test` already replays.
+FUZZTIME ?= 5s
+fuzz-short:
+	$(GO) test -run=^$$ -fuzz=FuzzScheduleInvariants -fuzztime=$(FUZZTIME) ./internal/faults
+	$(GO) test -run=^$$ -fuzz=FuzzPerStepDeterminism -fuzztime=$(FUZZTIME) ./internal/faults
+	$(GO) test -run=^$$ -fuzz=FuzzSimulate$$ -fuzztime=$(FUZZTIME) ./internal/netsim
+	$(GO) test -run=^$$ -fuzz=FuzzSimulateFaults -fuzztime=$(FUZZTIME) ./internal/netsim
+	$(GO) test -run=^$$ -fuzz=FuzzGrayRoundTrip -fuzztime=$(FUZZTIME) ./internal/bitutil
+	$(GO) test -run=^$$ -fuzz=FuzzMomentFlip -fuzztime=$(FUZZTIME) ./internal/bitutil
+	$(GO) test -run=^$$ -fuzz=FuzzPrefixConsistency -fuzztime=$(FUZZTIME) ./internal/bitutil
+	$(GO) test -run=^$$ -fuzz=FuzzDisperseReconstruct -fuzztime=$(FUZZTIME) ./internal/ida
+	$(GO) test -run=^$$ -fuzz=FuzzGFInverse -fuzztime=$(FUZZTIME) ./internal/ida
+	$(GO) test -run=^$$ -fuzz=FuzzArenaRoundTrip -fuzztime=$(FUZZTIME) ./internal/core
 
 # Regenerate the paper-vs-measured tables (EXPERIMENTS.md content).
 experiments:

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"multipath/internal/core"
+	"multipath/internal/cycles"
+	"multipath/internal/faults"
+	"multipath/internal/netsim"
+	"multipath/internal/transport"
+)
+
+// BENCH_faults.json: measured fault tolerance of the retry/IDA
+// transport over the Theorem 1 and Theorem 2 embeddings — delivered
+// fraction and end-to-end latency versus link-fault probability, single
+// path versus width-d IDA dispersal. The same sweep backs the E23
+// table.
+
+type faultPoint struct {
+	P                 float64 `json:"p"`
+	DeliveredFraction float64 `json:"delivered_fraction"`
+	// MeanLatency averages the per-edge k-th-piece arrival step over
+	// delivered edges and seeds (0 when nothing was delivered).
+	MeanLatency     float64 `json:"mean_latency"`
+	MeanRounds      float64 `json:"mean_rounds"`
+	PiecesSent      int     `json:"pieces_sent"`
+	PiecesDelivered int     `json:"pieces_delivered"`
+}
+
+type faultSeries struct {
+	Embedding  string       `json:"embedding"`
+	Strategy   string       `json:"strategy"`
+	Width      int          `json:"width"`
+	K          int          `json:"k"`
+	MaxRetries int          `json:"max_retries"`
+	Points     []faultPoint `json:"points"`
+}
+
+type faultReport struct {
+	GeneratedAt string        `json:"generated_at"`
+	Mode        string        `json:"mode"`
+	Flits       int           `json:"flits"`
+	Seeds       int           `json:"seeds"`
+	WallMS      float64       `json:"wall_ms"`
+	Series      []faultSeries `json:"series"`
+}
+
+// Sweep parameters. Probabilities are per directed link; seeds are
+// averaged per point. faults.Bernoulli couples the draws across p for
+// a fixed seed, so each seed's delivered fraction is monotone
+// non-increasing along the sweep (asserted in internal/transport's
+// tests); the averages reported here inherit that.
+var (
+	faultProbs   = []float64{0, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2}
+	faultSeeds   = 5
+	faultFlits   = 8
+	faultRetries = 1
+)
+
+func faultEmbeddings() ([]string, []*core.Embedding, error) {
+	e1, err := cycles.Theorem1(8)
+	if err != nil {
+		return nil, nil, err
+	}
+	e2, err := cycles.Theorem2(8)
+	if err != nil {
+		return nil, nil, err
+	}
+	return []string{"Theorem 1 (n=8)", "Theorem 2 (n=8)"}, []*core.Embedding{e1, e2}, nil
+}
+
+// measureFaultSweep runs the whole sweep once per process; the E23
+// table and the JSON report both read the cached result.
+var measureFaultSweep = sync.OnceValues(func() (*faultReport, error) {
+	start := time.Now()
+	names, embs, err := faultEmbeddings()
+	if err != nil {
+		return nil, err
+	}
+	rep := &faultReport{
+		Mode:  netsim.CutThrough.String(),
+		Flits: faultFlits,
+		Seeds: faultSeeds,
+	}
+	for ei, e := range embs {
+		width := len(e.Paths[0])
+		k := width - 1
+		if k < 1 {
+			k = 1
+		}
+		for _, strat := range []transport.Strategy{transport.SinglePath, transport.IDA} {
+			series := faultSeries{
+				Embedding:  names[ei],
+				Strategy:   strat.String(),
+				Width:      width,
+				K:          k,
+				MaxRetries: faultRetries,
+			}
+			if strat == transport.SinglePath {
+				series.K = 1
+			}
+			for _, p := range faultProbs {
+				var pt faultPoint
+				pt.P = p
+				var fracSum, latSum, roundSum float64
+				var latEdges int
+				for seed := 1; seed <= faultSeeds; seed++ {
+					sched := faults.Bernoulli(e.Host.DirectedEdges(), p, int64(seed))
+					r, err := transport.SendAll(e, transport.Config{
+						Strategy:   strat,
+						Mode:       netsim.CutThrough,
+						Flits:      faultFlits,
+						K:          k,
+						MaxRetries: faultRetries,
+						Faults:     sched,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("%s/%v/p=%g/seed=%d: %w",
+							names[ei], strat, p, seed, err)
+					}
+					fracSum += r.DeliveredFraction
+					latSum += r.MeanLatency * float64(r.DeliveredEdges)
+					latEdges += r.DeliveredEdges
+					roundSum += float64(r.Rounds)
+					pt.PiecesSent += r.PiecesSent
+					pt.PiecesDelivered += r.PiecesDelivered
+				}
+				pt.DeliveredFraction = fracSum / float64(faultSeeds)
+				if latEdges > 0 {
+					pt.MeanLatency = latSum / float64(latEdges)
+				}
+				pt.MeanRounds = roundSum / float64(faultSeeds)
+				series.Points = append(series.Points, pt)
+			}
+			rep.Series = append(rep.Series, series)
+		}
+	}
+	rep.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return rep, nil
+})
+
+// runE23 renders the sweep as the paper-vs-measured table: the §1
+// claim is that dispersal over d disjoint paths rides out link faults
+// a single path cannot, now measured through the fault-aware simulator
+// with latency attached.
+func runE23() (*table, error) {
+	rep, err := measureFaultSweep()
+	if err != nil {
+		return nil, err
+	}
+	tab := &table{headers: []string{
+		"embedding", "strategy", "p(link fault)", "delivered", "mean latency", "mean rounds",
+	}}
+	for _, s := range rep.Series {
+		for _, pt := range s.Points {
+			tab.addRow(
+				s.Embedding,
+				fmt.Sprintf("%s (k=%d/%d)", s.Strategy, s.K, s.Width),
+				fmt.Sprintf("%.3f", pt.P),
+				fmt.Sprintf("%.3f", pt.DeliveredFraction),
+				fmt.Sprintf("%.1f", pt.MeanLatency),
+				fmt.Sprintf("%.1f", pt.MeanRounds),
+			)
+		}
+	}
+	tab.note("%d seeds per point, %d-flit payloads, cut-through, %d retry round(s); "+
+		"per seed the fault sets are nested across p, so delivered fraction is "+
+		"monotone non-increasing (asserted in internal/transport tests).",
+		rep.Seeds, rep.Flits, faultRetries)
+	return tab, nil
+}
+
+func writeFaultsJSON(path string) error {
+	rep, err := measureFaultSweep()
+	if err != nil {
+		return err
+	}
+	out := *rep
+	out.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

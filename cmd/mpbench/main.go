@@ -6,13 +6,15 @@
 // experiment's simulations are deterministic, so the tables are
 // identical to a serial run — only wall-clock cells vary) and the
 // output order is fixed regardless of scheduling. Alongside the
-// markdown tables, two machine-readable perf records are written:
+// markdown tables, three machine-readable records are written:
 // BENCH_netsim.json (per-experiment wall-clock plus the dense netsim
-// engine's speedup over the retained seed simulator) and
+// engine's speedup over the retained seed simulator),
 // BENCH_construct.json (the dense metric engine in internal/core:
 // build/verify wall-clock per construction and the warm speedup over
-// the map-based reference verifiers at n = 16), giving future changes
-// a perf trajectory to compare against.
+// the map-based reference verifiers at n = 16), and BENCH_faults.json
+// (the E23 fault sweep: delivered fraction and end-to-end latency
+// versus link-fault probability for single-path versus IDA transport),
+// giving future changes a perf trajectory to compare against.
 //
 // Usage:
 //
@@ -22,6 +24,7 @@
 //	mpbench -parallel=false  # force serial execution
 //	mpbench -json ""         # skip the netsim JSON report
 //	mpbench -construct-json "" # skip the metric-engine JSON report
+//	mpbench -faults-json ""  # skip the fault-tolerance sweep report
 //	mpbench -cpuprofile cpu.prof -memprofile mem.prof  # pprof the run
 package main
 
@@ -126,6 +129,7 @@ func experimentList() []experiment {
 		{"E20", "Scalability: build+verify wall time at large n", runE20},
 		{"E21", "§1 constant-pinout model: wide grid vs narrow hypercube", runE21},
 		{"E22", "Naive per-edge widening vs Theorem 1's coordination", runE22},
+		{"E23", "Measured fault tolerance: single path vs IDA under link faults", runE23},
 	}
 }
 
@@ -174,6 +178,7 @@ func main() {
 	parallel := flag.Bool("parallel", true, "run experiment suites concurrently (output order is unchanged)")
 	jsonPath := flag.String("json", "BENCH_netsim.json", "write per-experiment wall-clock + metrics JSON here (empty to disable)")
 	constructPath := flag.String("construct-json", "BENCH_construct.json", "write the dense metric-engine benchmark JSON here (empty to disable)")
+	faultsPath := flag.String("faults-json", "BENCH_faults.json", "write the fault-tolerance sweep JSON here (empty to disable)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run here")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) here")
 	flag.Parse()
@@ -245,6 +250,14 @@ func main() {
 		if err := writeConstructJSON(*constructPath); err != nil {
 			fmt.Fprintf(os.Stderr, "construct json: %v\n", err)
 			failed++
+		}
+	}
+	if *faultsPath != "" {
+		if err := writeFaultsJSON(*faultsPath); err != nil {
+			fmt.Fprintf(os.Stderr, "faults json: %v\n", err)
+			failed++
+		} else {
+			fmt.Printf("wrote %s (fault sweep: delivered fraction and latency vs link-fault probability)\n", *faultsPath)
 		}
 	}
 	if failed > 0 {

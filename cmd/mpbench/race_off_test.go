@@ -1,0 +1,6 @@
+//go:build !race
+
+package main
+
+// raceDetectorOn reports whether this binary was built with -race.
+const raceDetectorOn = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package main
+
+// raceDetectorOn reports whether this binary was built with -race.
+// Wall-clock speedup assertions are skipped under the race detector:
+// its instrumentation perturbs the relative cost of the allocation-
+// heavy and pointer-chasing paths being compared.
+const raceDetectorOn = true

@@ -4,6 +4,13 @@
 // message as long as at most two of an edge's five paths hit a faulty
 // link — and because the paths are edge-disjoint, independent link
 // faults rarely kill more than one.
+//
+// Part 1 checks path survival combinatorially (FaultTolerantSend).
+// Part 2 sends the same traffic through the fault-aware network
+// simulator (TransportSend): links die mid-flight, lost pieces are
+// retried over surviving paths, and end-to-end latency is measured —
+// IDA beats a single path on delivered fraction AND on speed, because
+// pieces of ⌈M/k⌉ flits pipeline in parallel.
 package main
 
 import (
@@ -29,8 +36,10 @@ func main() {
 
 	payload := []byte("Greenberg & Bhatt, Routing Multiple Paths in Hypercubes, SPAA 1990")
 
+	fmt.Println("-- combinatorial check: do k of n paths survive? --")
 	fmt.Println("fault-prob  faulty-links  delivered  overhead")
-	for _, p := range []float64{0.0, 0.01, 0.03, 0.06, 0.10} {
+	probs := []float64{0.0, 0.01, 0.03, 0.06, 0.10}
+	for _, p := range probs {
 		faults := multipath.NewFaultModel(e.Host.DirectedEdges(), p, 2026)
 		delivered, total := 0, 256
 		for edge := 0; edge < total; edge++ {
@@ -51,6 +60,32 @@ func main() {
 			p, faults.FaultyCount(), delivered, total, overhead)
 	}
 
+	fmt.Println("\n-- measured through the simulator: 8-flit payloads, 1 retry round --")
+	fmt.Println("fault-prob  strategy     delivered  mean-latency")
+	for _, p := range probs {
+		sched := multipath.BernoulliFaults(e.Host.DirectedEdges(), p, 2026)
+		for _, strat := range []struct {
+			name string
+			cfg  multipath.TransportConfig
+		}{
+			{"single-path", multipath.TransportConfig{Strategy: multipath.SinglePathTransport}},
+			{"ida k=3", multipath.TransportConfig{Strategy: multipath.IDATransport, K: threshold}},
+		} {
+			cfg := strat.cfg
+			cfg.Mode = multipath.CutThrough
+			cfg.Flits = 8
+			cfg.MaxRetries = 1
+			cfg.Faults = sched
+			rep, err := multipath.TransportSend(e, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%9.2f  %-11s  %9.3f  %7.1f steps\n",
+				p, strat.name, rep.DeliveredFraction, rep.MeanLatency)
+		}
+	}
+
 	fmt.Println("\nEach piece is 1/3 of the payload; any 3 of the 5 pieces rebuild it.")
-	fmt.Println("Without disjoint paths a single fault on the one route kills the message.")
+	fmt.Println("Without disjoint paths a single fault on the one route kills the message;")
+	fmt.Println("with dispersal the transfer also finishes faster — the pieces pipeline.")
 }

@@ -1,0 +1,252 @@
+// Package faults provides deterministic, seeded, replayable fault
+// schedules for the network simulator — the §1 fault-tolerance story
+// made injectable. A schedule answers, for any directed host link and
+// simulation step, whether the link is down and whether the outage is
+// permanent, so the simulator can distinguish "wait for recovery" from
+// "this message is dead".
+//
+// Three model families cover the experiments:
+//
+//   - Schedule: an explicit event list — link l fails at step t and
+//     optionally recovers at step t' — supporting permanent and
+//     transient link and node failures and adversarial bursts that
+//     target one guest edge's whole path bundle.
+//   - Bernoulli: every directed link independently fails permanently
+//     with probability p, sampled once from a seed. The per-link
+//     uniform draw is fixed by (seed, link) order, so for one seed the
+//     faulty set is monotone non-decreasing in p — the coupling the
+//     delivered-fraction monotonicity tests rely on.
+//   - PerStep: a transient model where each (link, step) pair is down
+//     independently with probability p, computed by a splitmix64-style
+//     hash of (seed, link, step). Nothing is stored; replay is exact.
+//
+// All models are immutable once handed to a simulation and safe for
+// concurrent readers.
+package faults
+
+import (
+	"math/rand"
+	"sort"
+
+	"multipath/internal/hypercube"
+)
+
+// Oracle is the query interface the simulator uses. Implementations
+// must be deterministic and safe for concurrent readers.
+type Oracle interface {
+	// Status reports whether directed link id is down at the given
+	// step (steps are 1-based, matching netsim), and — when down —
+	// whether the outage is permanent, i.e. the link stays down at
+	// every step ≥ step. Permanence is what lets the simulator fail a
+	// message immediately instead of waiting forever.
+	Status(link, step int) (down, permanent bool)
+	// Horizon returns a step h ≥ 0 such that no link changes state
+	// after step h (every transient window has closed; what is down
+	// stays down). Unbounded models return -1; the simulator then
+	// requires an explicit step limit.
+	Horizon() int
+}
+
+// window is one outage of a single link: down for From ≤ step < Until;
+// Until ≤ 0 means the link never recovers.
+type window struct {
+	From, Until int
+}
+
+func (w window) covers(step int) bool {
+	return step >= w.From && (w.Until <= 0 || step < w.Until)
+}
+
+func (w window) permanentAt(step int) bool {
+	return w.Until <= 0 && step >= w.From
+}
+
+// Schedule is an explicit, replayable event list. The zero value is an
+// empty schedule (no faults); Add* methods build it up. Building is not
+// concurrency-safe; querying is.
+type Schedule struct {
+	byLink map[int][]window
+}
+
+// NewSchedule returns an empty schedule.
+func NewSchedule() *Schedule { return &Schedule{} }
+
+func (s *Schedule) add(link int, w window) *Schedule {
+	if w.Until > 0 && w.Until <= w.From {
+		// Empty window: recovers at or before it starts, so the link
+		// is never down. Dropping it keeps the static views (EverDown,
+		// FaultyLinks, Links) consistent with Status.
+		return s
+	}
+	if s.byLink == nil {
+		s.byLink = make(map[int][]window)
+	}
+	s.byLink[link] = append(s.byLink[link], w)
+	return s
+}
+
+// FailLink fails the link permanently from step from (1 to fail from
+// the start of the run).
+func (s *Schedule) FailLink(link, from int) *Schedule {
+	return s.add(link, window{From: from})
+}
+
+// FailLinkTransient downs the link for steps from ≤ step < until; it
+// recovers at step until.
+func (s *Schedule) FailLinkTransient(link, from, until int) *Schedule {
+	return s.add(link, window{From: from, Until: until})
+}
+
+// FailNode fails every directed link incident to node v — both
+// directions of all its dimension edges — permanently from step from:
+// a node fault expressed in the link-fault model.
+func (s *Schedule) FailNode(q *hypercube.Q, v hypercube.Node, from int) *Schedule {
+	for d := 0; d < q.Dims(); d++ {
+		s.FailLink(q.EdgeID(v, d), from)
+		s.FailLink(q.EdgeID(q.Neighbor(v, d), d), from)
+	}
+	return s
+}
+
+// FailNodeTransient downs every directed link incident to v for steps
+// from ≤ step < until.
+func (s *Schedule) FailNodeTransient(q *hypercube.Q, v hypercube.Node, from, until int) *Schedule {
+	for d := 0; d < q.Dims(); d++ {
+		s.FailLinkTransient(q.EdgeID(v, d), from, until)
+		s.FailLinkTransient(q.EdgeID(q.Neighbor(v, d), d), from, until)
+	}
+	return s
+}
+
+// Burst downs every given link for steps from ≤ step < until (until ≤ 0
+// for permanent) — the adversarial schedule that targets one guest
+// edge's whole path bundle at once.
+func Burst(links []int, from, until int) *Schedule {
+	s := NewSchedule()
+	for _, l := range links {
+		s.add(l, window{From: from, Until: until})
+	}
+	return s
+}
+
+// Bernoulli fails each directed link of the host independently and
+// permanently with probability p, reproducibly from the seed. The draw
+// sequence is one Float64 per link in id order, so for a fixed seed the
+// faulty set at p1 ≤ p2 is a subset of the set at p2.
+func Bernoulli(numLinks int, p float64, seed int64) *Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewSchedule()
+	for id := 0; id < numLinks; id++ {
+		if rng.Float64() < p {
+			s.FailLink(id, 1)
+		}
+	}
+	return s
+}
+
+// Status implements Oracle: down if any window covers the step,
+// permanent if any covering window never closes.
+func (s *Schedule) Status(link, step int) (down, permanent bool) {
+	if s == nil || s.byLink == nil {
+		return false, false
+	}
+	for _, w := range s.byLink[link] {
+		if w.covers(step) {
+			down = true
+			if w.permanentAt(step) {
+				return true, true
+			}
+		}
+	}
+	return down, false
+}
+
+// Horizon implements Oracle: the last step at which any link changes
+// state. All windows start and (for transient ones) end at finite
+// steps, so a Schedule is always bounded.
+func (s *Schedule) Horizon() int {
+	h := 0
+	if s == nil {
+		return 0
+	}
+	for _, ws := range s.byLink {
+		for _, w := range ws {
+			if w.From > h {
+				h = w.From
+			}
+			if w.Until > h {
+				h = w.Until
+			}
+		}
+	}
+	return h
+}
+
+// Empty reports whether the schedule contains no outages at all.
+func (s *Schedule) Empty() bool { return s == nil || len(s.byLink) == 0 }
+
+// FaultyLinks returns the number of distinct links with at least one
+// outage window.
+func (s *Schedule) FaultyLinks() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.byLink)
+}
+
+// EverDown reports whether the link has any outage window at all — the
+// static view the combinatorial path checks (ida.FaultModel.PathOK)
+// use.
+func (s *Schedule) EverDown(link int) bool {
+	if s == nil {
+		return false
+	}
+	return len(s.byLink[link]) > 0
+}
+
+// Links returns the sorted ids of all links with at least one outage.
+func (s *Schedule) Links() []int {
+	if s == nil {
+		return nil
+	}
+	out := make([]int, 0, len(s.byLink))
+	for l := range s.byLink {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PerStep is the transient Bernoulli model: each (link, step) pair is
+// down independently with probability P, derived from Seed by a
+// stateless hash, so replay needs no storage and any (link, step) can
+// be queried in any order. Outages are never permanent; messages
+// crossing a down link simply wait, so simulations under PerStep need
+// an explicit step limit (Horizon returns -1).
+type PerStep struct {
+	P    float64
+	Seed int64
+}
+
+// Status implements Oracle.
+func (m *PerStep) Status(link, step int) (down, permanent bool) {
+	if m.P <= 0 {
+		return false, false
+	}
+	return hash01(m.Seed, link, step) < m.P, false
+}
+
+// Horizon implements Oracle: per-step sampling never settles.
+func (m *PerStep) Horizon() int { return -1 }
+
+// hash01 maps (seed, link, step) to [0, 1) via two rounds of
+// splitmix64 finalization — deterministic across platforms.
+func hash01(seed int64, link, step int) float64 {
+	x := uint64(seed) ^ uint64(link)*0x9e3779b97f4a7c15 ^ uint64(step)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

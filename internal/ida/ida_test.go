@@ -264,6 +264,55 @@ func BenchmarkReconstruct(b *testing.B) {
 	}
 }
 
+// FailNode marks exactly the 2n directed links incident to the node —
+// both directions of each dimension edge — and nothing else, and every
+// path through the node (endpoints included) fails PathOK.
+func TestFailNodeDirect(t *testing.T) {
+	e, err := cycles.Theorem1(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := e.Host
+	v := e.Paths[0][0][0] // source of edge 0's first path
+	fm := NewFaultModel(q.DirectedEdges(), 0, 1)
+	if fm.FaultyCount() != 0 {
+		t.Fatalf("fresh model has %d faults", fm.FaultyCount())
+	}
+	fm.FailNode(q, v)
+	if got, want := fm.FaultyCount(), 2*q.Dims(); got != want {
+		t.Fatalf("FaultyCount %d, want %d", got, want)
+	}
+	sched := fm.Schedule()
+	for d := 0; d < q.Dims(); d++ {
+		if !sched.EverDown(q.EdgeID(v, d)) {
+			t.Errorf("outgoing dim-%d link not failed", d)
+		}
+		if !sched.EverDown(q.EdgeID(q.Neighbor(v, d), d)) {
+			t.Errorf("incoming dim-%d link not failed", d)
+		}
+	}
+	// Every path of every guest edge touching v must fail PathOK;
+	// paths avoiding v entirely must pass.
+	for edge := range e.Paths {
+		for pi, p := range e.Paths[edge] {
+			touches := false
+			for _, node := range p {
+				if node == v {
+					touches = true
+					break
+				}
+			}
+			ok, err := fm.PathOK(e, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok == touches {
+				t.Fatalf("edge %d path %d: touches=%v but PathOK=%v", edge, pi, touches, ok)
+			}
+		}
+	}
+}
+
 // A single node fault kills at most one of an edge's disjoint paths
 // (unless the node is an endpoint), so IDA delivery survives it.
 func TestFaultTolerantSendNodeFault(t *testing.T) {

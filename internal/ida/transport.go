@@ -2,35 +2,46 @@ package ida
 
 import (
 	"fmt"
-	"math/rand"
 
 	"multipath/internal/core"
+	"multipath/internal/faults"
 	"multipath/internal/hypercube"
 )
 
-// FaultModel marks directed host links as faulty.
+// FaultModel is the combinatorial (static) fault view used by
+// FaultTolerantSend: a link is faulty if it is ever down. It is a thin
+// wrapper over faults.Schedule — the same schedule the simulator's
+// fault-aware path consumes — so the path-survival check here and the
+// measured transport in internal/transport share one fault source.
 type FaultModel struct {
-	faulty map[int]bool
+	sched *faults.Schedule
 }
 
 // NewFaultModel fails each directed link of the host independently
-// with probability p, reproducibly from the seed.
+// with probability p, reproducibly from the seed (faults.Bernoulli:
+// one uniform draw per link in id order, so for a fixed seed the
+// faulty set is monotone in p).
 func NewFaultModel(numLinks int, p float64, seed int64) *FaultModel {
-	rng := rand.New(rand.NewSource(seed))
-	f := &FaultModel{faulty: make(map[int]bool)}
-	for id := 0; id < numLinks; id++ {
-		if rng.Float64() < p {
-			f.faulty[id] = true
-		}
-	}
-	return f
+	return &FaultModel{sched: faults.Bernoulli(numLinks, p, seed)}
 }
 
-// FailLink marks one link faulty (for targeted experiments).
-func (f *FaultModel) FailLink(id int) { f.faulty[id] = true }
+// ModelOf wraps an existing schedule in the static view.
+func ModelOf(s *faults.Schedule) *FaultModel {
+	if s == nil {
+		s = faults.NewSchedule()
+	}
+	return &FaultModel{sched: s}
+}
 
-// FaultyCount returns the number of failed links.
-func (f *FaultModel) FaultyCount() int { return len(f.faulty) }
+// Schedule returns the underlying replayable schedule, for handing the
+// same faults to the simulator.
+func (f *FaultModel) Schedule() *faults.Schedule { return f.sched }
+
+// FailLink marks one link permanently faulty (for targeted experiments).
+func (f *FaultModel) FailLink(id int) { f.sched.FailLink(id, 1) }
+
+// FaultyCount returns the number of distinct failed links.
+func (f *FaultModel) FaultyCount() int { return f.sched.FaultyLinks() }
 
 // PathOK reports whether a host path avoids all faulty links.
 func (f *FaultModel) PathOK(e *core.Embedding, p core.Path) (bool, error) {
@@ -39,7 +50,7 @@ func (f *FaultModel) PathOK(e *core.Embedding, p core.Path) (bool, error) {
 		return false, err
 	}
 	for _, id := range ids {
-		if f.faulty[id] {
+		if f.sched.EverDown(id) {
 			return false, nil
 		}
 	}
@@ -63,6 +74,11 @@ type SendReport struct {
 // are edge-disjoint, any f link faults kill at most f pieces, so a
 // width-w embedding with threshold k tolerates w-k faults on the paths
 // of any single edge.
+//
+// This check is purely combinatorial — pieces survive or die by path
+// inspection, nothing is simulated. internal/transport runs the same
+// dispersal through the fault-aware simulator and measures latency and
+// retries as well.
 func FaultTolerantSend(e *core.Embedding, edgeIdx int, data []byte, k int, faults *FaultModel) (*SendReport, []byte, error) {
 	if edgeIdx < 0 || edgeIdx >= len(e.Paths) {
 		return nil, nil, fmt.Errorf("ida: edge index %d out of range", edgeIdx)
@@ -99,8 +115,5 @@ func FaultTolerantSend(e *core.Embedding, edgeIdx int, data []byte, k int, fault
 // node fault under the link-fault model. q's edge indexing must match
 // the embeddings the model is used with.
 func (f *FaultModel) FailNode(q *hypercube.Q, v hypercube.Node) {
-	for d := 0; d < q.Dims(); d++ {
-		f.faulty[q.EdgeID(v, d)] = true
-		f.faulty[q.EdgeID(q.Neighbor(v, d), d)] = true
-	}
+	f.sched.FailNode(q, v, 1)
 }

@@ -66,6 +66,13 @@ type Engine struct {
 	arrivals []int32
 	enq      []int32
 
+	// Fault-path scratch (SimulateFaults): dense link id → external
+	// id for fault queries and blame, per-message dead flags, and the
+	// kill batch collected per down link.
+	ext  []int
+	dead []bool
+	kill []int32
+
 	// Wormhole scratch (SimulateWormhole shares the numbering pass and
 	// the crossed array; the channel-holding state below is its own).
 	whHead, whTail []int32

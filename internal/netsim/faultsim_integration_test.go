@@ -1,0 +1,94 @@
+// The acceptance regression for the fault-aware engine path: with an
+// empty fault schedule it must be bit-identical to the fault-free
+// engine on the Theorem 1, Theorem 2, and Theorem 4 embedding traffic.
+// External package: the construction packages transitively import
+// netsim.
+package netsim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"multipath/internal/core"
+	"multipath/internal/cycles"
+	"multipath/internal/faults"
+	"multipath/internal/hamdecomp"
+	"multipath/internal/hypercube"
+	"multipath/internal/netsim"
+	"multipath/internal/traffic"
+	"multipath/internal/xproduct"
+)
+
+// theoremCases builds the Theorem 1/2/4 embeddings and the width-path
+// message sets the experiments route through the simulator.
+func theoremCases(t *testing.T) map[string][]*netsim.Message {
+	t.Helper()
+	cases := make(map[string][]*netsim.Message)
+	e1, err := cycles.Theorem1(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := cycles.Theorem2(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := hamdecomp.Decompose(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := hypercube.New(4)
+	var copies []*core.Embedding
+	for _, cyc := range dec.Directed() {
+		ce, err := core.DirectCycleEmbedding(q, cyc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copies = append(copies, ce)
+	}
+	_, e4, err := xproduct.Theorem4(copies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, e := range map[string]*core.Embedding{
+		"theorem1": e1, "theorem2": e2, "theorem4": e4,
+	} {
+		msgs, err := traffic.WidthPathMessages(e, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases[name] = msgs
+	}
+	return cases
+}
+
+func TestFaultPathBitIdenticalOnTheoremTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds three embeddings")
+	}
+	for name, msgs := range theoremCases(t) {
+		for _, mode := range []netsim.Mode{netsim.StoreAndForward, netsim.CutThrough} {
+			want, err := netsim.Simulate(msgs, mode)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, mode, err)
+			}
+			for label, opts := range map[string]netsim.FaultOpts{
+				"nil-schedule":   {},
+				"empty-schedule": {Faults: faults.NewSchedule()},
+			} {
+				fr, err := netsim.SimulateFaults(msgs, mode, opts)
+				if err != nil {
+					t.Fatalf("%s/%v/%s: %v", name, mode, label, err)
+				}
+				if !reflect.DeepEqual(&fr.Result, want) {
+					t.Errorf("%s/%v/%s: fault path Result %+v != engine %+v",
+						name, mode, label, fr.Result, *want)
+				}
+				for i, o := range fr.Outcomes {
+					if !o.Delivered {
+						t.Fatalf("%s/%v/%s: message %d not delivered: %+v", name, mode, label, i, o)
+					}
+				}
+			}
+		}
+	}
+}

@@ -71,6 +71,17 @@ type Result struct {
 	// last flit has crossed that link.
 	MaxLinkQueue  int
 	DeliveredMsgs int
+	// FailedMsgs and DroppedFlits are populated only by the
+	// fault-aware path (SimulateFaults); the fault-free simulators
+	// always leave them zero. DroppedFlits counts the flit-hops of
+	// failed messages that never happened, so the conservation
+	// invariant generalizes to
+	//
+	//	FlitsMoved + DroppedFlits == Σ flits·len(route)
+	//
+	// for every run, faulty or not.
+	FailedMsgs   int
+	DroppedFlits int
 }
 
 // Simulate runs the synchronous simulation to completion. Messages

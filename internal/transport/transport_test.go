@@ -1,0 +1,317 @@
+package transport
+
+import (
+	"reflect"
+	"testing"
+
+	"multipath/internal/core"
+	"multipath/internal/cycles"
+	"multipath/internal/faults"
+	"multipath/internal/netsim"
+)
+
+func theorem1(t *testing.T) *core.Embedding {
+	t.Helper()
+	e, err := cycles.Theorem1(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func width(e *core.Embedding) int { return len(e.Paths[0]) }
+
+// Fault-free, both strategies deliver everything in one round and
+// report a positive latency bounded by the run's clock.
+func TestFaultFreeDelivery(t *testing.T) {
+	e := theorem1(t)
+	for _, strat := range []Strategy{SinglePath, IDA} {
+		rep, err := SendAll(e, Config{
+			Strategy: strat, Mode: netsim.CutThrough, Flits: 8, K: 2,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if rep.DeliveredFraction != 1 || rep.DeliveredEdges != rep.Edges {
+			t.Fatalf("%v: not all delivered: %+v", strat, rep)
+		}
+		if rep.Rounds != 1 {
+			t.Fatalf("%v: wanted 1 round, got %d", strat, rep.Rounds)
+		}
+		if rep.MeanLatency <= 0 || rep.TotalSteps <= 0 {
+			t.Fatalf("%v: degenerate clock: %+v", strat, rep)
+		}
+		for _, er := range rep.EdgeReports {
+			if !er.Delivered || er.Latency < 1 || er.Latency > rep.TotalSteps {
+				t.Fatalf("%v: bad edge report %+v (TotalSteps %d)", strat, er, rep.TotalSteps)
+			}
+			if len(er.FailedPaths) != 0 {
+				t.Fatalf("%v: fault-free run blamed paths: %+v", strat, er)
+			}
+		}
+		if rep.PiecesSent != rep.PiecesDelivered {
+			t.Fatalf("%v: lost pieces without faults: %+v", strat, rep)
+		}
+	}
+}
+
+// Same configuration twice gives identical reports.
+func TestDeterministic(t *testing.T) {
+	e := theorem1(t)
+	sched := faults.Bernoulli(e.Host.DirectedEdges(), 0.05, 11)
+	cfg := Config{
+		Strategy: IDA, Mode: netsim.CutThrough, Flits: 6, K: 2,
+		MaxRetries: 2, Faults: sched,
+	}
+	a, err := SendAll(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SendAll(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+// A permanent fault on edge 0's first path: SinglePath needs a retry
+// round to fail over; with no retries it loses the edge.
+func TestSinglePathFailover(t *testing.T) {
+	e := theorem1(t)
+	ids, err := e.Host.PathEdgeIDs(e.Paths[0][0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := faults.NewSchedule()
+	sched.FailLink(ids[0], 1)
+
+	noRetry, err := SendEdges(e, []int{0}, Config{
+		Strategy: SinglePath, Mode: netsim.StoreAndForward, Flits: 4, Faults: sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noRetry.DeliveredEdges != 0 {
+		t.Fatalf("delivered without retries across a dead first path: %+v", noRetry)
+	}
+
+	rep, err := SendEdges(e, []int{0}, Config{
+		Strategy: SinglePath, Mode: netsim.StoreAndForward, Flits: 4,
+		MaxRetries: 2, Faults: sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	er := rep.EdgeReports[0]
+	if !er.Delivered || er.Rounds != 2 {
+		t.Fatalf("wanted failover delivery in round 2: %+v", er)
+	}
+	if len(er.FailedPaths) != 1 || er.FailedPaths[0] != 0 {
+		t.Fatalf("wanted path 0 blamed: %+v", er)
+	}
+}
+
+// IDA with k < width absorbs a dead path with no retry round at all.
+func TestIDAToleratesPathLoss(t *testing.T) {
+	e := theorem1(t)
+	w := width(e)
+	if w < 2 {
+		t.Fatalf("need width ≥ 2, got %d", w)
+	}
+	ids, err := e.Host.PathEdgeIDs(e.Paths[0][0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := faults.NewSchedule()
+	sched.FailLink(ids[0], 1)
+
+	rep, err := SendEdges(e, []int{0}, Config{
+		Strategy: IDA, Mode: netsim.CutThrough, Flits: 8, K: w - 1, Faults: sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	er := rep.EdgeReports[0]
+	if !er.Delivered || er.Rounds != 1 {
+		t.Fatalf("wanted zero-retry IDA delivery: %+v", er)
+	}
+	if er.PiecesDelivered != w-1 || len(er.FailedPaths) != 1 {
+		t.Fatalf("wanted exactly one lost piece: %+v", er)
+	}
+}
+
+// IDA retry rounds refill missing pieces over surviving paths when
+// more paths die than k-of-n slack covers.
+func TestIDARetryRefillsPieces(t *testing.T) {
+	e := theorem1(t)
+	w := width(e)
+	if w < 2 {
+		t.Fatalf("need width ≥ 2, got %d", w)
+	}
+	// Kill every path but the last.
+	sched := faults.NewSchedule()
+	for p := 0; p < w-1; p++ {
+		ids, err := e.Host.PathEdgeIDs(e.Paths[0][p])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched.FailLink(ids[0], 1)
+	}
+	cfg := Config{
+		Strategy: IDA, Mode: netsim.CutThrough, Flits: 8, K: 2, Faults: sched,
+	}
+	noRetry, err := SendEdges(e, []int{0}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noRetry.DeliveredEdges != 0 {
+		t.Fatalf("k=2 cannot survive round 1 with one live path: %+v", noRetry)
+	}
+	cfg.MaxRetries = 2
+	rep, err := SendEdges(e, []int{0}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er := rep.EdgeReports[0]
+	if !er.Delivered || er.Rounds < 2 {
+		t.Fatalf("wanted retry delivery over the surviving path: %+v", er)
+	}
+	if er.PiecesDelivered < 2 {
+		t.Fatalf("wanted ≥ k pieces through: %+v", er)
+	}
+}
+
+// BundleBurst on one edge's whole path bundle sinks that edge no
+// matter the retries, and leaves the others untouched.
+func TestBundleBurstKillsEdge(t *testing.T) {
+	e := theorem1(t)
+	sched, err := BundleBurst(e, 3, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := SendAll(e, Config{
+		Strategy: IDA, Mode: netsim.CutThrough, Flits: 4, K: 2,
+		MaxRetries: 3, Faults: sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, er := range rep.EdgeReports {
+		if er.Edge == 3 {
+			if er.Delivered {
+				t.Fatalf("edge 3 survived a full bundle burst: %+v", er)
+			}
+			continue
+		}
+		// Bundles of different guest edges share host links in the
+		// Theorem 1 embedding, so neighbours may lose pieces to the
+		// burst — but k-of-n slack plus retries must still deliver.
+		if !er.Delivered {
+			t.Fatalf("edge %d collateral failure: %+v", er.Edge, er)
+		}
+	}
+	if rep.DeliveredEdges != rep.Edges-1 {
+		t.Fatalf("wanted exactly one failed edge: %+v", rep)
+	}
+}
+
+// A transient outage on the single path delays delivery but needs no
+// failover: latency grows, the path is never blamed.
+func TestTransientOutageDelays(t *testing.T) {
+	e := theorem1(t)
+	ids, err := e.Host.PathEdgeIDs(e.Paths[0][0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := SendEdges(e, []int{0}, Config{
+		Strategy: SinglePath, Mode: netsim.StoreAndForward, Flits: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := faults.NewSchedule()
+	sched.FailLinkTransient(ids[0], 1, 8)
+	rep, err := SendEdges(e, []int{0}, Config{
+		Strategy: SinglePath, Mode: netsim.StoreAndForward, Flits: 3, Faults: sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	er := rep.EdgeReports[0]
+	if !er.Delivered || er.Rounds != 1 || len(er.FailedPaths) != 0 {
+		t.Fatalf("transient outage should only delay: %+v", er)
+	}
+	if er.Latency <= clean.EdgeReports[0].Latency {
+		t.Fatalf("latency did not grow: %d vs clean %d",
+			er.Latency, clean.EdgeReports[0].Latency)
+	}
+}
+
+// The acceptance criterion: per seed, delivered fraction is monotone
+// non-increasing in the link-fault probability, for single-path and
+// for width-d IDA. faults.Bernoulli couples the draws (one uniform per
+// link, thresholded by p), so the faulty sets are nested across the
+// sweep and the transport must never deliver less at lower p.
+func TestDeliveredFractionMonotoneInFaultProbability(t *testing.T) {
+	e := theorem1(t)
+	w := width(e)
+	probs := []float64{0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4}
+	for _, strat := range []Strategy{SinglePath, IDA} {
+		for seed := int64(1); seed <= 5; seed++ {
+			prev := 2.0
+			for _, p := range probs {
+				sched := faults.Bernoulli(e.Host.DirectedEdges(), p, seed)
+				rep, err := SendAll(e, Config{
+					Strategy: strat, Mode: netsim.CutThrough, Flits: 4,
+					K: w - 1, MaxRetries: 1, Faults: sched,
+				})
+				if err != nil {
+					t.Fatalf("%v seed %d p %g: %v", strat, seed, p, err)
+				}
+				if rep.DeliveredFraction > prev {
+					t.Fatalf("%v seed %d: delivered fraction rose at p=%g: %g > %g",
+						strat, seed, p, rep.DeliveredFraction, prev)
+				}
+				prev = rep.DeliveredFraction
+			}
+		}
+	}
+}
+
+// Unbounded fault models need an explicit per-round StepLimit; with
+// one, the transport times out gracefully instead of erroring.
+func TestPerStepModelNeedsStepLimit(t *testing.T) {
+	e := theorem1(t)
+	model := &faults.PerStep{P: 1, Seed: 3}
+	_, err := SendEdges(e, []int{0}, Config{
+		Strategy: SinglePath, Mode: netsim.CutThrough, Faults: model,
+	})
+	if err == nil {
+		t.Fatal("wanted an error for an unbounded model without StepLimit")
+	}
+	rep, err := SendEdges(e, []int{0}, Config{
+		Strategy: SinglePath, Mode: netsim.CutThrough, Faults: model,
+		StepLimit: 32, MaxRetries: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeliveredEdges != 0 {
+		t.Fatalf("p=1 per-step model delivered: %+v", rep)
+	}
+	if rep.TotalSteps != 2*32 {
+		t.Fatalf("wanted two timed-out rounds of 32 steps, got %d", rep.TotalSteps)
+	}
+}
+
+func TestBadEdgeIndex(t *testing.T) {
+	e := theorem1(t)
+	if _, err := SendEdges(e, []int{len(e.Paths)}, Config{}); err == nil {
+		t.Fatal("wanted range error")
+	}
+	if _, err := BundleBurst(e, -1, 1, 0); err == nil {
+		t.Fatal("wanted range error")
+	}
+}

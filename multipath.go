@@ -22,6 +22,10 @@
 //   - HamiltonianDecomposition: the Lemma 1 substrate.
 //   - Disperse/Reconstruct + FaultTolerantSend: IDA over disjoint paths.
 //   - Simulate: the unit-delay network simulator of the cost model.
+//   - SimulateFaults + NewFaultSchedule/BernoulliFaults: the simulator
+//     under injected link/node faults (deterministic, replayable).
+//   - TransportSend: measured retry/IDA transport over disjoint paths —
+//     delivered fraction and latency, not just path survival.
 //
 // All metrics (load, dilation, width, congestion, packet cost) are
 // recomputed by independent verifiers on the returned Embedding values;
@@ -32,6 +36,7 @@ import (
 	"multipath/internal/ccc"
 	"multipath/internal/core"
 	"multipath/internal/cycles"
+	"multipath/internal/faults"
 	"multipath/internal/graph"
 	"multipath/internal/grid"
 	"multipath/internal/guests"
@@ -40,6 +45,7 @@ import (
 	"multipath/internal/ida"
 	"multipath/internal/netsim"
 	"multipath/internal/relax"
+	"multipath/internal/transport"
 	"multipath/internal/xproduct"
 )
 
@@ -70,6 +76,21 @@ type (
 	Piece = ida.Piece
 	// FaultModel injects link faults for FaultTolerantSend.
 	FaultModel = ida.FaultModel
+	// FaultSchedule is a deterministic, replayable link-fault event
+	// list for the fault-aware simulator and transport.
+	FaultSchedule = faults.Schedule
+	// PerStepFaults downs each (link, step) pair independently with
+	// probability P (transient, unbounded: set a step limit).
+	PerStepFaults = faults.PerStep
+	// FaultOpts configures SimulateFaults.
+	FaultOpts = netsim.FaultOpts
+	// FaultSimResult is SimulateFaults' result: Result plus per-message
+	// outcomes and failure accounting.
+	FaultSimResult = netsim.FaultResult
+	// TransportConfig parameterizes TransportSend.
+	TransportConfig = transport.Config
+	// TransportReport aggregates a measured transfer.
+	TransportReport = transport.Report
 	// CBTEmbedding is Theorem 5's complete-binary-tree result.
 	CBTEmbedding = xproduct.CBTEmbedding
 	// GridMultiPath is Corollary 1's grid embedding with phase costs.
@@ -82,6 +103,12 @@ type (
 const (
 	StoreAndForward = netsim.StoreAndForward
 	CutThrough      = netsim.CutThrough
+)
+
+// Transport strategies.
+const (
+	SinglePathTransport = transport.SinglePath
+	IDATransport        = transport.IDA
 )
 
 // NewHypercube returns the Q_n host model (1 ≤ n ≤ 26).
@@ -207,6 +234,38 @@ func FaultTolerantSend(e *Embedding, edge int, data []byte, k int, f *FaultModel
 // Simulate runs the synchronous link-level simulator.
 func Simulate(msgs []*Message, mode netsim.Mode) (*SimResult, error) {
 	return netsim.Simulate(msgs, mode)
+}
+
+// SimulateFaults runs the simulator under a fault schedule: links die
+// (or recover) mid-flight, affected messages are failed and blamed.
+func SimulateFaults(msgs []*Message, mode netsim.Mode, opts FaultOpts) (*FaultSimResult, error) {
+	return netsim.SimulateFaults(msgs, mode, opts)
+}
+
+// NewFaultSchedule returns an empty replayable fault schedule; build it
+// with FailLink/FailLinkTransient/FailNode/Burst.
+func NewFaultSchedule() *FaultSchedule { return faults.NewSchedule() }
+
+// BernoulliFaults permanently fails each directed link with probability
+// p, reproducibly from the seed; for a fixed seed the faulty set is
+// monotone in p.
+func BernoulliFaults(links int, p float64, seed int64) *FaultSchedule {
+	return faults.Bernoulli(links, p, seed)
+}
+
+// TransportSend ships one payload per guest edge through the
+// fault-aware simulator under cfg — single-path with failover retries,
+// or k-of-n IDA dispersal over the disjoint paths — and reports
+// delivered fraction and measured end-to-end latency.
+func TransportSend(e *Embedding, cfg TransportConfig) (*TransportReport, error) {
+	return transport.SendAll(e, cfg)
+}
+
+// BundleBurst builds the adversarial schedule that downs every link of
+// one guest edge's whole path bundle for [from, until) (until ≤ 0:
+// permanently).
+func BundleBurst(e *Embedding, edge, from, until int) (*FaultSchedule, error) {
+	return transport.BundleBurst(e, edge, from, until)
 }
 
 // DirectCycleEmbedding embeds a Hamiltonian node sequence as a
