@@ -3,22 +3,33 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short race bench experiments examples fuzz-short cover clean
+.PHONY: all check build vet staticcheck test test-short race bench experiments examples fuzz-short cover clean
 
 all: check
 
-# The default verification path: build, vet, tests, and the race
-# detector (the netsim batch runner, the mpbench worker pool, and the
-# core arena builders' per-worker fan-out are concurrent, so -race is
-# part of the gate, not an extra; the core package's parallel-build
-# tests force multiple workers regardless of host core count).
-check: build vet test race
+# The default verification path: build, vet, staticcheck (when
+# installed), tests, and the race detector (the netsim batch runner,
+# the mpbench worker pool, and the core arena builders' per-worker
+# fan-out are concurrent, so -race is part of the gate, not an extra;
+# the core package's parallel-build tests force multiple workers
+# regardless of host core count).
+check: build vet staticcheck test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is optional tooling: run it when the binary is on PATH
+# (CI installs it), skip quietly when it is not — the offline gate
+# must not require network access to fetch it.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -29,8 +40,9 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-# Go benchmarks, then a full mpbench run to refresh all three perf
-# records (BENCH_netsim.json, BENCH_construct.json, BENCH_faults.json).
+# Go benchmarks, then a full mpbench run to refresh all four perf
+# records (BENCH_netsim.json, BENCH_construct.json, BENCH_faults.json,
+# BENCH_obsv.json).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/mpbench > /dev/null
@@ -45,6 +57,7 @@ fuzz-short:
 	$(GO) test -run=^$$ -fuzz=FuzzPerStepDeterminism -fuzztime=$(FUZZTIME) ./internal/faults
 	$(GO) test -run=^$$ -fuzz=FuzzSimulate$$ -fuzztime=$(FUZZTIME) ./internal/netsim
 	$(GO) test -run=^$$ -fuzz=FuzzSimulateFaults -fuzztime=$(FUZZTIME) ./internal/netsim
+	$(GO) test -run=^$$ -fuzz=FuzzSimulateProbed -fuzztime=$(FUZZTIME) ./internal/netsim
 	$(GO) test -run=^$$ -fuzz=FuzzGrayRoundTrip -fuzztime=$(FUZZTIME) ./internal/bitutil
 	$(GO) test -run=^$$ -fuzz=FuzzMomentFlip -fuzztime=$(FUZZTIME) ./internal/bitutil
 	$(GO) test -run=^$$ -fuzz=FuzzPrefixConsistency -fuzztime=$(FUZZTIME) ./internal/bitutil

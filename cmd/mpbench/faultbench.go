@@ -24,7 +24,8 @@ type faultPoint struct {
 	P                 float64 `json:"p"`
 	DeliveredFraction float64 `json:"delivered_fraction"`
 	// MeanLatency averages the per-edge k-th-piece arrival step over
-	// delivered edges and seeds (0 when nothing was delivered).
+	// delivered edges and seeds; -1 means "no data" (nothing was
+	// delivered at this point), matching transport.Report.MeanLatency.
 	MeanLatency     float64 `json:"mean_latency"`
 	MeanRounds      float64 `json:"mean_rounds"`
 	PiecesSent      int     `json:"pieces_sent"`
@@ -123,8 +124,10 @@ var measureFaultSweep = sync.OnceValues(func() (*faultReport, error) {
 							names[ei], strat, p, seed, err)
 					}
 					fracSum += r.DeliveredFraction
-					latSum += r.MeanLatency * float64(r.DeliveredEdges)
-					latEdges += r.DeliveredEdges
+					if r.DeliveredEdges > 0 {
+						latSum += r.MeanLatency * float64(r.DeliveredEdges)
+						latEdges += r.DeliveredEdges
+					}
 					roundSum += float64(r.Rounds)
 					pt.PiecesSent += r.PiecesSent
 					pt.PiecesDelivered += r.PiecesDelivered
@@ -132,6 +135,8 @@ var measureFaultSweep = sync.OnceValues(func() (*faultReport, error) {
 				pt.DeliveredFraction = fracSum / float64(faultSeeds)
 				if latEdges > 0 {
 					pt.MeanLatency = latSum / float64(latEdges)
+				} else {
+					pt.MeanLatency = -1
 				}
 				pt.MeanRounds = roundSum / float64(faultSeeds)
 				series.Points = append(series.Points, pt)

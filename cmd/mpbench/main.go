@@ -6,7 +6,7 @@
 // experiment's simulations are deterministic, so the tables are
 // identical to a serial run — only wall-clock cells vary) and the
 // output order is fixed regardless of scheduling. Alongside the
-// markdown tables, three machine-readable records are written:
+// markdown tables, four machine-readable records are written:
 // BENCH_netsim.json (per-experiment wall-clock plus the dense netsim
 // engine's speedup over the retained seed simulator),
 // BENCH_construct.json (the dense metric engine in internal/core:
@@ -14,7 +14,10 @@
 // the map-based reference verifiers at n = 16), and BENCH_faults.json
 // (the E23 fault sweep: delivered fraction and end-to-end latency
 // versus link-fault probability for single-path versus IDA transport),
-// giving future changes a perf trajectory to compare against.
+// and BENCH_obsv.json (the observability layer: flit/message latency
+// and per-link queue-depth distributions with p50/p95/p99 summaries
+// for the Theorem 1/2 workloads at n = 16 and the E23 sweep), giving
+// future changes a perf trajectory to compare against.
 //
 // Usage:
 //
@@ -25,6 +28,8 @@
 //	mpbench -json ""         # skip the netsim JSON report
 //	mpbench -construct-json "" # skip the metric-engine JSON report
 //	mpbench -faults-json ""  # skip the fault-tolerance sweep report
+//	mpbench -obs-json ""     # skip the observability distribution report
+//	mpbench -trace t.jsonl   # export a JSONL event trace of a reference run
 //	mpbench -cpuprofile cpu.prof -memprofile mem.prof  # pprof the run
 package main
 
@@ -130,6 +135,7 @@ func experimentList() []experiment {
 		{"E21", "§1 constant-pinout model: wide grid vs narrow hypercube", runE21},
 		{"E22", "Naive per-edge widening vs Theorem 1's coordination", runE22},
 		{"E23", "Measured fault tolerance: single path vs IDA under link faults", runE23},
+		{"E24", "Observability: latency and queue-depth distributions via probes", runE24},
 	}
 }
 
@@ -179,6 +185,8 @@ func main() {
 	jsonPath := flag.String("json", "BENCH_netsim.json", "write per-experiment wall-clock + metrics JSON here (empty to disable)")
 	constructPath := flag.String("construct-json", "BENCH_construct.json", "write the dense metric-engine benchmark JSON here (empty to disable)")
 	faultsPath := flag.String("faults-json", "BENCH_faults.json", "write the fault-tolerance sweep JSON here (empty to disable)")
+	obsPath := flag.String("obs-json", "BENCH_obsv.json", "write the observability (latency/queue-depth distribution) JSON here (empty to disable)")
+	tracePath := flag.String("trace", "", "write a JSONL event trace of the Theorem 1 (n=8) width-path run here")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run here")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) here")
 	flag.Parse()
@@ -258,6 +266,22 @@ func main() {
 			failed++
 		} else {
 			fmt.Printf("wrote %s (fault sweep: delivered fraction and latency vs link-fault probability)\n", *faultsPath)
+		}
+	}
+	if *obsPath != "" {
+		if err := writeObsvJSON(*obsPath); err != nil {
+			fmt.Fprintf(os.Stderr, "obsv json: %v\n", err)
+			failed++
+		} else {
+			fmt.Printf("wrote %s (observability: latency and queue-depth distributions)\n", *obsPath)
+		}
+	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			failed++
+		} else {
+			fmt.Printf("wrote %s (JSONL event trace of the Theorem 1 n=8 width-path run)\n", *tracePath)
 		}
 	}
 	if failed > 0 {

@@ -7,6 +7,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"multipath/internal/obsv"
 )
 
 // Every experiment must run cleanly and produce a non-trivial table;
@@ -205,6 +207,12 @@ func TestWriteFaultsJSON(t *testing.T) {
 			if pt.DeliveredFraction > 0 && pt.MeanLatency <= 0 {
 				t.Errorf("%s/%s p=%g: delivered but no latency recorded", s.Embedding, s.Strategy, pt.P)
 			}
+			// -1 is the documented "no data" sentinel: nothing
+			// delivered must never read as latency 0.
+			if pt.DeliveredFraction == 0 && pt.MeanLatency != -1 {
+				t.Errorf("%s/%s p=%g: nothing delivered but mean latency %g, want -1",
+					s.Embedding, s.Strategy, pt.P, pt.MeanLatency)
+			}
 		}
 		byKey[s.Embedding+"/"+s.Strategy] = s
 	}
@@ -268,5 +276,114 @@ func TestTablePrinting(t *testing.T) {
 	tab.print() // smoke: must not panic
 	if len(tab.notes) != 1 || tab.notes[0] != "hello 7" {
 		t.Errorf("notes %v", tab.notes)
+	}
+}
+
+// BENCH_obsv.json shape: every case carries populated latency and
+// queue-depth distributions with ordered quantiles, and the required
+// workloads (Theorem 1/2 at n=16, the E23 sweep per strategy) are all
+// present.
+func TestWriteObsvJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("observability sweep is slow")
+	}
+	path := filepath.Join(t.TempDir(), "obsv.json")
+	if err := writeObsvJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obsvReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"theorem1-n16":                false,
+		"theorem2-n16":                false,
+		"e23-fault-sweep/single-path": false,
+		"e23-fault-sweep/ida":         false,
+	}
+	checkSummary := func(name, which string, s obsvSummaryView) {
+		if s.N == 0 {
+			t.Errorf("%s: empty %s distribution", name, which)
+			return
+		}
+		if !(s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+			t.Errorf("%s: %s quantiles out of order: %+v", name, which, s)
+		}
+	}
+	for _, c := range rep.Cases {
+		if _, ok := want[c.Name]; !ok {
+			t.Errorf("unexpected case %q", c.Name)
+			continue
+		}
+		want[c.Name] = true
+		if c.Runs < 1 || c.Delivered == 0 {
+			t.Errorf("%s: degenerate case %+v", c.Name, c)
+		}
+		checkSummary(c.Name, "flit latency", summaryView(c.FlitLatency))
+		checkSummary(c.Name, "message latency", summaryView(c.MsgLatency))
+		if c.QueueDepth.N == 0 || len(c.QueueDepthBuckets) == 0 {
+			t.Errorf("%s: missing queue-depth histogram", c.Name)
+		}
+		var bucketN uint64
+		for _, b := range c.QueueDepthBuckets {
+			bucketN += b.Count
+		}
+		if bucketN != c.QueueDepth.N {
+			t.Errorf("%s: queue-depth buckets sum to %d, N=%d", c.Name, bucketN, c.QueueDepth.N)
+		}
+		if strings.HasPrefix(c.Name, "theorem") {
+			if c.Failed != 0 || c.DroppedFlits != 0 {
+				t.Errorf("%s: fault-free workload lost traffic: %+v", c.Name, c)
+			}
+			if c.MaxLinkQueue < c.QueueDepth.Max {
+				t.Errorf("%s: engine peak queue %d below StepEnd max %d",
+					c.Name, c.MaxLinkQueue, c.QueueDepth.Max)
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("case %q missing from report", name)
+		}
+	}
+}
+
+// obsvSummaryView/summaryView keep the quantile checks readable
+// without importing obsv's Summary field-by-field at each call site.
+type obsvSummaryView struct {
+	N             uint64
+	P50, P95, P99 int
+	Max           int
+}
+
+func summaryView(s obsv.Summary) obsvSummaryView {
+	return obsvSummaryView{N: s.N, P50: s.P50, P95: s.P95, P99: s.P99, Max: s.Max}
+}
+
+// The -trace export is valid JSONL with the expected event kinds.
+func TestWriteTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := writeTrace(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		kind, _ := ev["ev"].(string)
+		counts[kind]++
+	}
+	if counts["begin"] != 1 || counts["move"] == 0 || counts["step"] == 0 || counts["done"] == 0 {
+		t.Errorf("unexpected event mix: %v", counts)
 	}
 }

@@ -8,10 +8,18 @@
 // reports through a different result type) runs separately. Output
 // order is fixed regardless of scheduling.
 //
+// With -obs, each strategy additionally reports its latency and
+// queue-depth distributions (p50/p95/p99) through an attached
+// observation probe; -trace exports the full event stream as JSONL.
+// Either flag switches to serial execution so the probe observes one
+// run at a time — the step counts themselves are unchanged (attaching
+// a probe never changes results).
+//
 // Usage:
 //
 //	routesim -n 4 -flits 64 -seed 42
 //	routesim -n 8 -flits 128 -strategy ccc
+//	routesim -n 4 -strategy valiant -obs -trace valiant.jsonl
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 
 	"multipath"
 	"multipath/internal/netsim"
+	"multipath/internal/obsv"
 	"multipath/internal/traffic"
 )
 
@@ -30,15 +39,25 @@ func main() {
 	flits := flag.Int("flits", 64, "message length in flits")
 	seed := flag.Int64("seed", 42, "permutation seed")
 	strategy := flag.String("strategy", "all", "ecube-sf | ecube-ct | ecube-wh | valiant | ccc | all")
+	obs := flag.Bool("obs", false, "report latency and queue-depth distributions per strategy")
+	tracePath := flag.String("trace", "", "write a JSONL event trace of every run here")
 	flag.Parse()
 
-	if err := run(*n, *flits, *seed, *strategy); err != nil {
+	if err := run(*n, *flits, *seed, *strategy, *obs, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "routesim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, flits int, seed int64, strategy string) error {
+// strategyEntry is one selected strategy's prepared workload.
+type strategyEntry struct {
+	name     string
+	wormhole bool
+	msgs     []*netsim.Message
+	mode     netsim.Mode
+}
+
+func run(n, flits int, seed int64, strategy string, obs bool, tracePath string) error {
 	mc, err := multipath.CCCMultiCopy(n)
 	if err != nil {
 		return err
@@ -53,28 +72,22 @@ func run(n, flits int, seed int64, strategy string) error {
 	// buffered-switching runs to SimulateBatch in one shot. Only valiant
 	// draws from rng beyond the permutation, so eager construction keeps
 	// the historical seed→route mapping.
-	type entry struct {
-		name     string
-		wormhole bool
-		msgs     []*netsim.Message
-		mode     netsim.Mode
-	}
-	var entries []entry
+	var entries []strategyEntry
 	want := func(name string) bool { return strategy == "all" || strategy == name }
 	if want("ecube-sf") {
-		entries = append(entries, entry{name: "ecube-sf",
+		entries = append(entries, strategyEntry{name: "ecube-sf",
 			msgs: netsim.PermutationMessages(q, perm, flits), mode: netsim.StoreAndForward})
 	}
 	if want("ecube-ct") {
-		entries = append(entries, entry{name: "ecube-ct",
+		entries = append(entries, strategyEntry{name: "ecube-ct",
 			msgs: netsim.PermutationMessages(q, perm, flits), mode: netsim.CutThrough})
 	}
 	if want("ecube-wh") {
-		entries = append(entries, entry{name: "ecube-wh", wormhole: true,
+		entries = append(entries, strategyEntry{name: "ecube-wh", wormhole: true,
 			msgs: netsim.PermutationMessages(q, perm, flits)})
 	}
 	if want("valiant") {
-		entries = append(entries, entry{name: "valiant",
+		entries = append(entries, strategyEntry{name: "valiant",
 			msgs: netsim.ValiantMessages(q, perm, flits, rng), mode: netsim.CutThrough})
 	}
 	if want("ccc") {
@@ -82,7 +95,11 @@ func run(n, flits int, seed int64, strategy string) error {
 		if err != nil {
 			return fmt.Errorf("ccc: %w", err)
 		}
-		entries = append(entries, entry{name: "ccc", msgs: msgs, mode: netsim.CutThrough})
+		entries = append(entries, strategyEntry{name: "ccc", msgs: msgs, mode: netsim.CutThrough})
+	}
+
+	if obs || tracePath != "" {
+		return runObserved(entries, obs, tracePath)
 	}
 
 	var jobs []netsim.BatchJob
@@ -110,8 +127,74 @@ func run(n, flits int, seed int64, strategy string) error {
 		} else {
 			res = results[jobOf[i]]
 		}
-		fmt.Printf("%-9s steps=%-6d delivered=%-5d flit-hops=%-8d max-queue=%d\n",
-			e.name, res.Steps, res.DeliveredMsgs, res.FlitsMoved, res.MaxLinkQueue)
+		printResult(e.name, res)
 	}
 	return nil
+}
+
+func printResult(name string, res *netsim.Result) {
+	fmt.Printf("%-9s steps=%-6d delivered=%-5d flit-hops=%-8d max-queue=%d\n",
+		name, res.Steps, res.DeliveredMsgs, res.FlitsMoved, res.MaxLinkQueue)
+}
+
+// runObserved runs the strategies serially, each under a fresh
+// Recorder (for the -obs distribution report) and a shared TraceWriter
+// (for -trace; its run counter keeps strategies separable in the
+// JSONL stream). Results are identical to the batch path — attaching a
+// probe never changes them.
+func runObserved(entries []strategyEntry, obs bool, tracePath string) error {
+	var tw *obsv.TraceWriter
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tw = obsv.NewTraceWriter(f)
+	}
+	for _, e := range entries {
+		rec := obsv.NewRecorder()
+		var probe netsim.Probe = rec
+		if tw != nil {
+			probe = obsv.Multi(rec, tw)
+		}
+		var res *netsim.Result
+		if e.wormhole {
+			wr, err := netsim.SimulateWormholeProbed(e.msgs, probe)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.name, err)
+			}
+			res = &wr.Result
+		} else {
+			r, err := netsim.SimulateProbed(e.msgs, e.mode, probe)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.name, err)
+			}
+			res = r
+		}
+		printResult(e.name, res)
+		if obs {
+			fl, ml, qd := rec.FlitLatency.Summarize(), rec.MsgLatency.Summarize(), rec.QueueDepth.Summarize()
+			fmt.Printf("          flit-lat p50/p95/p99=%d/%d/%d  msg-lat p50/p95/p99=%d/%d/%d  queue p95/max=%d/%d  busy=%.3f\n",
+				fl.P50, fl.P95, fl.P99, ml.P50, ml.P95, ml.P99, qd.P95, qd.Max, meanOf(rec.BusyFraction.Samples()))
+		}
+	}
+	if tw != nil {
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", tracePath)
+	}
+	return nil
+}
+
+func meanOf(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
 }

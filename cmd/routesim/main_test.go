@@ -1,23 +1,72 @@
 package main
 
-import "testing"
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunAllStrategies(t *testing.T) {
-	if err := run(4, 16, 42, "all"); err != nil {
+	if err := run(4, 16, 42, "all", false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSingleStrategy(t *testing.T) {
 	for _, s := range []string{"ecube-sf", "ecube-ct", "ecube-wh", "valiant", "ccc"} {
-		if err := run(4, 8, 1, s); err != nil {
+		if err := run(4, 8, 1, s, false, ""); err != nil {
 			t.Errorf("%s: %v", s, err)
 		}
 	}
 }
 
+func TestRunObservedWithTrace(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run(4, 8, 7, "all", true, trace); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Every line must be valid JSON with an "ev" field; all five
+	// strategies run under the shared writer, so runs 1..5 appear.
+	runs := map[int]bool{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var ev struct {
+			Ev  string `json:"ev"`
+			Run int    `json:"run"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		if ev.Ev == "" {
+			t.Fatalf("line %d: missing ev field", lines)
+		}
+		runs[ev.Run] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("empty trace")
+	}
+	for r := 1; r <= 5; r++ {
+		if !runs[r] {
+			t.Errorf("no events for run %d (one per strategy expected)", r)
+		}
+	}
+}
+
 func TestRunRejectsBadN(t *testing.T) {
-	if err := run(3, 8, 1, "all"); err == nil {
+	if err := run(3, 8, 1, "all", false, ""); err == nil {
 		t.Error("non-power-of-two accepted")
 	}
 }

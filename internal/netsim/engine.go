@@ -86,6 +86,11 @@ type Engine struct {
 	whMoves        []int32
 
 	res *Result
+
+	// probe, when non-nil, receives observation events (see probe.go).
+	// Every call site is guarded by a nil-check on this one field so a
+	// probe-less run is bit-identical to the pre-probe engine.
+	probe Probe
 }
 
 // NewEngine returns an empty Engine; buffers grow on first use.
@@ -136,6 +141,10 @@ func (e *Engine) Simulate(msgs []*Message, mode Mode) (*Result, error) {
 
 	links := e.number(msgs, total, minID, maxID)
 	e.growState(len(msgs), total, int(links))
+	if e.probe != nil {
+		e.fillExt(msgs, links)
+		e.beginProbe(msgs, links, mode, false)
+	}
 
 	res := &Result{}
 	e.res = res
@@ -181,6 +190,9 @@ func (e *Engine) Simulate(msgs []*Message, mode Mode) (*Result, error) {
 			e.crossed[p]++
 			e.credit[l]--
 			res.FlitsMoved++
+			if e.probe != nil {
+				e.probe.FlitMoved(step, e.posMsg[p], l)
+			}
 			arr = append(arr, p)
 			if e.crossed[p] == e.flits[e.posMsg[p]] {
 				nx := e.qnext[p]
@@ -214,9 +226,15 @@ func (e *Engine) Simulate(msgs []*Message, mode Mode) (*Result, error) {
 			mi := e.posMsg[p]
 			next := p + 1
 			if next == e.off[mi+1] {
+				if e.probe != nil {
+					e.probe.FlitDelivered(step, mi)
+				}
 				if e.crossed[p] == e.flits[mi] {
 					remaining--
 					res.DeliveredMsgs++
+					if e.probe != nil {
+						e.probe.MsgDone(step, mi, true)
+					}
 				}
 				continue
 			}
@@ -246,6 +264,9 @@ func (e *Engine) Simulate(msgs []*Message, mode Mode) (*Result, error) {
 		e.enq = enq
 		e.arrivals = arr
 		e.scratch = cur[:0]
+		if e.probe != nil {
+			e.probe.StepEnd(step, e.qlen[:links])
+		}
 	}
 	res.Steps = step
 	res.DeliveredMsgs += countEmptyRoutes(msgs)

@@ -38,6 +38,10 @@ type FaultOpts struct {
 	// schedule evolving across rounds: round r queries steps
 	// offset+1, offset+2, ...
 	StepOffset int
+	// Probe, when non-nil, receives observation events for this run
+	// (see probe.go). It takes precedence over a probe attached with
+	// Engine.SetProbe. Attaching a probe never changes the FaultResult.
+	Probe Probe
 }
 
 // Outcome is the per-message verdict of a fault-aware run.
@@ -132,6 +136,16 @@ func (e *Engine) SimulateFaults(msgs []*Message, mode Mode, opts FaultOpts) (*Fa
 		if h < 0 {
 			return nil, fmt.Errorf("netsim: unbounded fault schedule requires FaultOpts.StepLimit")
 		}
+		// The schedule's clock starts at StepOffset (the run queries
+		// steps offset+1, offset+2, ...), so fault activity at or
+		// before the offset is history: only the remaining horizon can
+		// still delay this run. Without the adjustment the livelock
+		// bound inherits slack for outages that already ended — loose
+		// for late retry rounds, whose offsets grow with every round.
+		h -= opts.StepOffset
+		if h < 0 {
+			h = 0
+		}
 		limit = stepLimit(totalFlits, maxRoute, len(msgs)) + h
 	}
 
@@ -141,13 +155,13 @@ func (e *Engine) SimulateFaults(msgs []*Message, mode Mode, opts FaultOpts) (*Fa
 	// Dense link id → external id, for fault queries and blame. Filled
 	// by one extra pass over the routes so the fault-free numbering
 	// pass stays untouched.
-	e.ext = grow(e.ext, int(links))
-	pos := 0
-	for _, m := range msgs {
-		for _, id := range m.Route {
-			e.ext[e.route[pos]] = id
-			pos++
-		}
+	e.fillExt(msgs, links)
+	oldProbe := e.probe
+	if opts.Probe != nil {
+		e.probe = opts.Probe
+	}
+	if e.probe != nil {
+		e.beginProbe(msgs, links, mode, false)
 	}
 	e.dead = grow(e.dead, len(msgs))
 	for i := range msgs {
@@ -177,6 +191,7 @@ func (e *Engine) SimulateFaults(msgs []*Message, mode Mode, opts FaultOpts) (*Fa
 		if step > limit {
 			if !graceful {
 				e.res = nil
+				e.probe = oldProbe
 				return nil, fmt.Errorf("netsim: no progress after %d steps", limit)
 			}
 			fr.TimedOut = true
@@ -222,6 +237,9 @@ func (e *Engine) SimulateFaults(msgs []*Message, mode Mode, opts FaultOpts) (*Fa
 			e.crossed[p]++
 			e.credit[l]--
 			res.FlitsMoved++
+			if e.probe != nil {
+				e.probe.FlitMoved(step, e.posMsg[p], l)
+			}
 			arr = append(arr, p)
 			if e.crossed[p] == e.flits[e.posMsg[p]] {
 				nx := e.qnext[p]
@@ -254,10 +272,16 @@ func (e *Engine) SimulateFaults(msgs []*Message, mode Mode, opts FaultOpts) (*Fa
 			}
 			next := p + 1
 			if next == e.off[mi+1] {
+				if e.probe != nil {
+					e.probe.FlitDelivered(step, mi)
+				}
 				if e.crossed[p] == e.flits[mi] {
 					remaining--
 					res.DeliveredMsgs++
 					fr.Outcomes[mi] = Outcome{Delivered: true, Step: step, FailedLink: -1}
+					if e.probe != nil {
+						e.probe.MsgDone(step, mi, true)
+					}
 				}
 				continue
 			}
@@ -287,6 +311,9 @@ func (e *Engine) SimulateFaults(msgs []*Message, mode Mode, opts FaultOpts) (*Fa
 		e.enq = enq
 		e.arrivals = arr
 		e.scratch = cur[:0]
+		if e.probe != nil {
+			e.probe.StepEnd(step, e.qlen[:links])
+		}
 	}
 	if fr.TimedOut {
 		res.Steps = limit
@@ -295,6 +322,7 @@ func (e *Engine) SimulateFaults(msgs []*Message, mode Mode, opts FaultOpts) (*Fa
 	}
 	res.DeliveredMsgs += countEmptyRoutes(msgs)
 	e.res = nil
+	e.probe = oldProbe
 	return fr, nil
 }
 
@@ -329,8 +357,9 @@ func (e *Engine) failMessage(mi int32, extLink, step int, fr *FaultResult) int {
 	e.dead[mi] = true
 	fr.Outcomes[mi] = Outcome{Step: step, FailedLink: extLink}
 	fr.FailedMsgs++
+	dropped := 0
 	for p := e.off[mi]; p < e.off[mi+1]; p++ {
-		fr.DroppedFlits += e.flits[mi] - e.crossed[p]
+		dropped += e.flits[mi] - e.crossed[p]
 		if e.queued[p] {
 			l := e.route[p]
 			e.unlink(l, p)
@@ -340,6 +369,11 @@ func (e *Engine) failMessage(mi int32, extLink, step int, fr *FaultResult) int {
 				e.credit[l] -= avail
 			}
 		}
+	}
+	fr.DroppedFlits += dropped
+	if e.probe != nil {
+		e.probe.FlitsDropped(step, mi, dropped)
+		e.probe.MsgDone(step, mi, false)
 	}
 	return 1
 }

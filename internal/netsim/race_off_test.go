@@ -1,0 +1,8 @@
+//go:build !race
+
+package netsim
+
+// raceDetectorOn mirrors cmd/mpbench's build-tag pair: the probe
+// overhead assertion is meaningless under the race detector's
+// instrumentation and is skipped there.
+const raceDetectorOn = false

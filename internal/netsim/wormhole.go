@@ -80,6 +80,10 @@ func (e *Engine) simulateWormhole(msgs []*Message) (*WormholeResult, error) {
 		total += len(m.Route)
 	}
 	links := int(e.number(msgs, total, minID, maxID))
+	if e.probe != nil {
+		e.fillExt(msgs, int32(links))
+		e.beginProbe(msgs, int32(links), 0, true)
+	}
 	route, off := e.route, e.off
 
 	crossed := grow(e.crossed, total) // flits across each route position
@@ -202,6 +206,13 @@ func (e *Engine) simulateWormhole(msgs []*Message) (*WormholeResult, error) {
 			crossed[p]++
 			res.FlitsMoved++
 			progress = true
+			if e.probe != nil {
+				mi := e.posMsg[p]
+				e.probe.FlitMoved(step, mi, route[p])
+				if p == off[mi+1]-1 {
+					e.probe.FlitDelivered(step, mi)
+				}
+			}
 		}
 		// Post-transfer bookkeeping: head requests, tail releases,
 		// completion.
@@ -229,7 +240,13 @@ func (e *Engine) simulateWormhole(msgs []*Message) (*WormholeResult, error) {
 				done[mi] = true
 				remaining--
 				res.DeliveredMsgs++
+				if e.probe != nil {
+					e.probe.MsgDone(step, int32(mi), true)
+				}
 			}
+		}
+		if e.probe != nil {
+			e.probe.StepEnd(step, waitLen[:links])
 		}
 		if !progress && remaining > 0 {
 			return nil, &ErrDeadlock{Step: step, Blocked: remaining}

@@ -70,6 +70,12 @@ type Config struct {
 	// Faults is the link-fault oracle shared with the simulator. Nil
 	// means fault-free.
 	Faults netsim.LinkFaults
+	// Probe, when non-nil, observes every simulation round (it is passed
+	// through as FaultOpts.Probe). Steps in probe events are round-
+	// relative, so an obsv.Recorder attached here reads as per-round
+	// latency distributions; use Report.RoundStats for the absolute
+	// cross-round picture. Attaching a probe never changes the Report.
+	Probe netsim.Probe
 }
 
 // EdgeReport is the per-guest-edge outcome.
@@ -101,12 +107,35 @@ type Report struct {
 	// TotalSteps is the summed step count of all rounds — the absolute
 	// clock at the end of the run.
 	TotalSteps int
-	// MeanLatency averages EdgeReport.Latency over delivered edges
-	// (0 when none delivered).
+	// MeanLatency averages EdgeReport.Latency over delivered edges.
+	// It is -1 ("no data") when no edge was delivered: 0 is a real
+	// latency (an empty-route edge delivers at step 0), so it cannot
+	// double as the missing-value sentinel.
 	MeanLatency     float64
 	PiecesSent      int
 	PiecesDelivered int
 	EdgeReports     []EdgeReport
+	// RoundStats has one entry per simulation round actually run, in
+	// order — the per-round delivered/latency series behind the
+	// aggregate numbers above.
+	RoundStats []RoundStat
+}
+
+// RoundStat summarizes one retry round of a transfer.
+type RoundStat struct {
+	// Round is the 1-based round number.
+	Round int `json:"round"`
+	// Sends is the number of pieces sent this round; Delivered how many
+	// of them arrived.
+	Sends     int `json:"sends"`
+	Delivered int `json:"delivered"`
+	// Steps is the round's own simulation step count; Offset the
+	// absolute clock at the round's start (sum of prior rounds' steps).
+	Steps  int `json:"steps"`
+	Offset int `json:"offset"`
+	// MeanLatency is the mean round-relative arrival step of the pieces
+	// delivered this round, or -1 when none were.
+	MeanLatency float64 `json:"mean_latency"`
 }
 
 // edgeState tracks one in-flight guest edge across rounds.
@@ -222,19 +251,29 @@ func SendEdges(e *core.Embedding, edges []int, cfg Config) (*Report, error) {
 			Faults:     cfg.Faults,
 			StepLimit:  cfg.StepLimit,
 			StepOffset: rep.TotalSteps,
+			Probe:      cfg.Probe,
 		})
 		if err != nil {
 			return nil, err
 		}
+		rs := RoundStat{Round: round, Sends: len(sends), Offset: rep.TotalSteps, MeanLatency: -1}
+		latSteps := 0
 		for i, o := range fr.Outcomes {
 			s := sends[i]
 			if o.Delivered {
 				rep.PiecesDelivered++
+				rs.Delivered++
+				latSteps += o.Step
 				s.st.deliverPiece(s.piece, rep.TotalSteps+o.Step)
 			} else {
 				s.st.blamePath(s.path)
 			}
 		}
+		if rs.Delivered > 0 {
+			rs.MeanLatency = float64(latSteps) / float64(rs.Delivered)
+		}
+		rs.Steps = fr.Steps
+		rep.RoundStats = append(rep.RoundStats, rs)
 		rep.TotalSteps += fr.Steps
 		rep.Rounds = round
 		for _, st := range states {
@@ -267,6 +306,8 @@ func SendEdges(e *core.Embedding, edges []int, cfg Config) (*Report, error) {
 	}
 	if rep.DeliveredEdges > 0 {
 		rep.MeanLatency = float64(latSum) / float64(rep.DeliveredEdges)
+	} else {
+		rep.MeanLatency = -1
 	}
 	return rep, nil
 }

@@ -306,6 +306,128 @@ func TestPerStepModelNeedsStepLimit(t *testing.T) {
 	}
 }
 
+// RoundStats is the per-round series behind the aggregates: one entry
+// per round actually run, offsets forming the absolute clock, and the
+// -1 latency sentinel on rounds that delivered nothing.
+func TestRoundStats(t *testing.T) {
+	e := theorem1(t)
+	ids, err := e.Host.PathEdgeIDs(e.Paths[0][0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := faults.NewSchedule()
+	sched.FailLink(ids[0], 1)
+	rep, err := SendEdges(e, []int{0}, Config{
+		Strategy: SinglePath, Mode: netsim.StoreAndForward, Flits: 4,
+		MaxRetries: 2, Faults: sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RoundStats) != rep.Rounds {
+		t.Fatalf("%d round stats for %d rounds", len(rep.RoundStats), rep.Rounds)
+	}
+	steps, offset := 0, 0
+	for i, rs := range rep.RoundStats {
+		if rs.Round != i+1 {
+			t.Errorf("round stat %d numbered %d", i, rs.Round)
+		}
+		if rs.Offset != offset {
+			t.Errorf("round %d: offset %d, want %d", rs.Round, rs.Offset, offset)
+		}
+		if rs.Delivered == 0 && rs.MeanLatency != -1 {
+			t.Errorf("round %d: nothing delivered but mean latency %g, want -1", rs.Round, rs.MeanLatency)
+		}
+		if rs.Delivered > 0 && (rs.MeanLatency <= 0 || rs.MeanLatency > float64(rs.Steps)) {
+			t.Errorf("round %d: mean latency %g outside (0, %d]", rs.Round, rs.MeanLatency, rs.Steps)
+		}
+		steps += rs.Steps
+		offset += rs.Steps
+	}
+	if steps != rep.TotalSteps {
+		t.Errorf("round steps sum to %d, TotalSteps %d", steps, rep.TotalSteps)
+	}
+	// The dead first path makes round 1 deliver nothing; failover
+	// delivers the piece in round 2.
+	if rep.RoundStats[0].Delivered != 0 || rep.RoundStats[1].Delivered != 1 {
+		t.Errorf("unexpected per-round deliveries: %+v", rep.RoundStats)
+	}
+}
+
+// With nothing delivered, the aggregate latency is the documented -1
+// "no data" sentinel rather than a latency-like 0.
+func TestMeanLatencyNoDataSentinel(t *testing.T) {
+	e := theorem1(t)
+	sched, err := BundleBurst(e, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := SendEdges(e, []int{0}, Config{
+		Strategy: SinglePath, Mode: netsim.CutThrough, Flits: 2,
+		MaxRetries: 2, Faults: sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeliveredEdges != 0 {
+		t.Fatalf("bundle burst did not sink the edge: %+v", rep)
+	}
+	if rep.MeanLatency != -1 {
+		t.Errorf("MeanLatency = %g with nothing delivered, want -1", rep.MeanLatency)
+	}
+}
+
+// countingProbe counts rounds and deliveries through Config.Probe.
+type countingProbe struct {
+	runs, delivered, failed int
+}
+
+func (c *countingProbe) BeginRun(netsim.RunInfo)              { c.runs++ }
+func (c *countingProbe) StepEnd(int, []int)                   {}
+func (c *countingProbe) FlitMoved(int, int32, int32)          {}
+func (c *countingProbe) FlitDelivered(int, int32)             {}
+func (c *countingProbe) FlitsDropped(int, int32, int)         {}
+func (c *countingProbe) MsgDone(step int, msg int32, ok bool) {
+	if ok {
+		c.delivered++
+	} else {
+		c.failed++
+	}
+}
+
+// Config.Probe observes every round without changing the Report.
+func TestProbePassthrough(t *testing.T) {
+	e := theorem1(t)
+	sched := faults.Bernoulli(e.Host.DirectedEdges(), 0.05, 11)
+	cfg := Config{
+		Strategy: IDA, Mode: netsim.CutThrough, Flits: 6, K: 2,
+		MaxRetries: 2, Faults: sched,
+	}
+	bare, err := SendAll(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &countingProbe{}
+	cfg.Probe = probe
+	probed, err := SendAll(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare, probed) {
+		t.Fatalf("probe changed report:\nbare   %+v\nprobed %+v", bare, probed)
+	}
+	if probe.runs != probed.Rounds {
+		t.Errorf("probe saw %d runs, report ran %d rounds", probe.runs, probed.Rounds)
+	}
+	if probe.delivered != probed.PiecesDelivered {
+		t.Errorf("probe saw %d deliveries, report %d", probe.delivered, probed.PiecesDelivered)
+	}
+	if probe.delivered+probe.failed != probed.PiecesSent {
+		t.Errorf("probe saw %d outcomes, report sent %d pieces",
+			probe.delivered+probe.failed, probed.PiecesSent)
+	}
+}
+
 func TestBadEdgeIndex(t *testing.T) {
 	e := theorem1(t)
 	if _, err := SendEdges(e, []int{len(e.Paths)}, Config{}); err == nil {

@@ -26,6 +26,9 @@
 //     under injected link/node faults (deterministic, replayable).
 //   - TransportSend: measured retry/IDA transport over disjoint paths —
 //     delivered fraction and latency, not just path survival.
+//   - SimulateProbed + NewRecorder/NewTraceWriter: the same simulations
+//     observed through a probe — latency/queue-depth distributions and
+//     JSONL event traces; attaching a probe never changes results.
 //
 // All metrics (load, dilation, width, congestion, packet cost) are
 // recomputed by independent verifiers on the returned Embedding values;
@@ -33,6 +36,8 @@
 package multipath
 
 import (
+	"io"
+
 	"multipath/internal/ccc"
 	"multipath/internal/core"
 	"multipath/internal/cycles"
@@ -44,6 +49,7 @@ import (
 	"multipath/internal/hypercube"
 	"multipath/internal/ida"
 	"multipath/internal/netsim"
+	"multipath/internal/obsv"
 	"multipath/internal/relax"
 	"multipath/internal/transport"
 	"multipath/internal/xproduct"
@@ -91,6 +97,17 @@ type (
 	TransportConfig = transport.Config
 	// TransportReport aggregates a measured transfer.
 	TransportReport = transport.Report
+	// Probe observes a simulation (per-step queue samples, flit
+	// moves/drops, message completions); attaching one never changes
+	// the simulation's results.
+	Probe = netsim.Probe
+	// Recorder aggregates probe events into flit/message-latency and
+	// queue-depth histograms plus utilization series.
+	Recorder = obsv.Recorder
+	// TraceWriter streams probe events as JSONL.
+	TraceWriter = obsv.TraceWriter
+	// DistSummary is a histogram summary: n, mean, p50/p95/p99, max.
+	DistSummary = obsv.Summary
 	// CBTEmbedding is Theorem 5's complete-binary-tree result.
 	CBTEmbedding = xproduct.CBTEmbedding
 	// GridMultiPath is Corollary 1's grid embedding with phase costs.
@@ -296,6 +313,21 @@ func MultiCopyTorus(a, k int) (*MultiCopy, error) { return grid.MultiCopyTorus(a
 func SimulateWormhole(msgs []*Message) (*netsim.WormholeResult, error) {
 	return netsim.SimulateWormhole(msgs)
 }
+
+// SimulateProbed runs Simulate with an observation probe attached.
+// The probe sees per-step queue samples, flit moves, and message
+// completions; the returned Result is bit-identical to Simulate's.
+func SimulateProbed(msgs []*Message, mode netsim.Mode, p Probe) (*SimResult, error) {
+	return netsim.SimulateProbed(msgs, mode, p)
+}
+
+// NewRecorder returns a probe that aggregates latency and queue-depth
+// histograms (see DistSummary) and link-utilization series.
+func NewRecorder() *Recorder { return obsv.NewRecorder() }
+
+// NewTraceWriter returns a probe that streams simulation events to w
+// as JSONL; call Flush when the runs are done.
+func NewTraceWriter(w io.Writer) *TraceWriter { return obsv.NewTraceWriter(w) }
 
 // NewTwoPhaseRouter prepares §7's two-phase routing over X(Butterfly_m).
 func NewTwoPhaseRouter(m int) (*xproduct.TwoPhaseRouter, error) {

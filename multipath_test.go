@@ -2,6 +2,8 @@ package multipath
 
 import (
 	"bytes"
+	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -198,5 +200,44 @@ func TestDisjointPathsJourney(t *testing.T) {
 	}
 	if !bytes.Equal(got, data) {
 		t.Fatal("round trip failed")
+	}
+}
+
+func TestObservabilityJourney(t *testing.T) {
+	mk := func() []*Message {
+		return []*Message{
+			{Route: []int{1, 2, 3}, Flits: 8},
+			{Route: []int{3, 4}, Flits: 8},
+		}
+	}
+	bare, err := Simulate(mk(), CutThrough)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	probed, err := SimulateProbed(mk(), CutThrough, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare, probed) {
+		t.Errorf("probe changed the result: %+v vs %+v", bare, probed)
+	}
+	if rec.Delivered != 2 {
+		t.Errorf("recorder saw %d deliveries", rec.Delivered)
+	}
+	var sum DistSummary = rec.MsgLatency.Summarize()
+	if sum.N != 2 || sum.Max > bare.Steps {
+		t.Errorf("message-latency summary %+v vs %d steps", sum, bare.Steps)
+	}
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	if _, err := SimulateProbed(mk(), CutThrough, tw); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"ev":"deliver"`) {
+		t.Errorf("trace missing deliver events:\n%s", buf.String())
 	}
 }
