@@ -58,6 +58,7 @@ fuzz-short:
 	$(GO) test -run=^$$ -fuzz=FuzzSimulate$$ -fuzztime=$(FUZZTIME) ./internal/netsim
 	$(GO) test -run=^$$ -fuzz=FuzzSimulateFaults -fuzztime=$(FUZZTIME) ./internal/netsim
 	$(GO) test -run=^$$ -fuzz=FuzzSimulateProbed -fuzztime=$(FUZZTIME) ./internal/netsim
+	$(GO) test -run=^$$ -fuzz=FuzzSimulateSharded -fuzztime=$(FUZZTIME) ./internal/netsim
 	$(GO) test -run=^$$ -fuzz=FuzzGrayRoundTrip -fuzztime=$(FUZZTIME) ./internal/bitutil
 	$(GO) test -run=^$$ -fuzz=FuzzMomentFlip -fuzztime=$(FUZZTIME) ./internal/bitutil
 	$(GO) test -run=^$$ -fuzz=FuzzPrefixConsistency -fuzztime=$(FUZZTIME) ./internal/bitutil

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"math/rand"
 	"os"
 	"runtime"
@@ -35,10 +36,14 @@ type benchExperiment struct {
 type benchReport struct {
 	GeneratedAt   string            `json:"generated_at"`
 	GoMaxProcs    int               `json:"gomaxprocs"`
+	Env           benchEnv          `json:"env"`
 	Parallel      bool              `json:"parallel"`
 	TotalWallMS   float64           `json:"total_wall_ms"`
 	EngineSpeedup *speedupReport    `json:"engine_speedup"`
-	Experiments   []benchExperiment `json:"experiments"`
+	// ShardSweep is the E25 record: the partitioned engine versus the
+	// single-shard engine on Theorem 1 traffic (see shardbench.go).
+	ShardSweep  *shardSweepReport `json:"shard_sweep"`
+	Experiments []benchExperiment `json:"experiments"`
 }
 
 // measureEngineSpeedup times the E17-class switching sweep — Q_8
@@ -82,11 +87,17 @@ func measureEngineSpeedup() *speedupReport {
 }
 
 func writeBenchJSON(path string, outs []outcome, sp *speedupReport, parallel bool) error {
+	sharded, err := measureShardSweep()
+	if err != nil {
+		return fmt.Errorf("shard sweep: %w", err)
+	}
 	rep := benchReport{
 		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Env:           currentEnv(),
 		Parallel:      parallel,
 		EngineSpeedup: sp,
+		ShardSweep:    sharded,
 	}
 	for _, o := range outs {
 		be := benchExperiment{

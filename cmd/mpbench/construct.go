@@ -74,6 +74,7 @@ type mpBuild struct {
 type constructReport struct {
 	GeneratedAt   string          `json:"generated_at"`
 	GoMaxProcs    int             `json:"gomaxprocs"`
+	Env           benchEnv        `json:"env"`
 	Cases         []constructCase `json:"cases"`
 	Speedups      []metricSpeedup `json:"warm_speedups_n16"`
 	BuildSpeedups []buildSpeedup  `json:"build_speedups_n16"`
@@ -197,6 +198,7 @@ func runConstructBench() (*constructReport, error) {
 	rep := &constructReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Env:         currentEnv(),
 	}
 	names, builders := constructEmbeddings()
 	for i, name := range names {

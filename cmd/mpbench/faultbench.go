@@ -43,6 +43,7 @@ type faultSeries struct {
 
 type faultReport struct {
 	GeneratedAt string        `json:"generated_at"`
+	Env         benchEnv      `json:"env"`
 	Mode        string        `json:"mode"`
 	Flits       int           `json:"flits"`
 	Seeds       int           `json:"seeds"`
@@ -186,6 +187,7 @@ func writeFaultsJSON(path string) error {
 	}
 	out := *rep
 	out.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	out.Env = currentEnv()
 	data, err := json.MarshalIndent(&out, "", "  ")
 	if err != nil {
 		return err

@@ -30,6 +30,7 @@
 //	mpbench -faults-json ""  # skip the fault-tolerance sweep report
 //	mpbench -obs-json ""     # skip the observability distribution report
 //	mpbench -trace t.jsonl   # export a JSONL event trace of a reference run
+//	mpbench -shards 8 -shard-dims 16,20  # size the E25 partitioned-engine sweep
 //	mpbench -cpuprofile cpu.prof -memprofile mem.prof  # pprof the run
 package main
 
@@ -96,6 +97,22 @@ func (t *table) print() {
 	}
 }
 
+// parseDims parses the -shard-dims flag ("16,20" → [16 20]).
+func parseDims(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var dims []int
+	for _, part := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n < 1 {
+			return nil, fmt.Errorf("bad dimension %q", part)
+		}
+		dims = append(dims, n)
+	}
+	return dims, nil
+}
+
 type experiment struct {
 	id    string
 	title string
@@ -136,6 +153,7 @@ func experimentList() []experiment {
 		{"E22", "Naive per-edge widening vs Theorem 1's coordination", runE22},
 		{"E23", "Measured fault tolerance: single path vs IDA under link faults", runE23},
 		{"E24", "Observability: latency and queue-depth distributions via probes", runE24},
+		{"E25", "Sharded engine: partitioned simulation of million-node traffic", runE25},
 	}
 }
 
@@ -187,9 +205,21 @@ func main() {
 	faultsPath := flag.String("faults-json", "BENCH_faults.json", "write the fault-tolerance sweep JSON here (empty to disable)")
 	obsPath := flag.String("obs-json", "BENCH_obsv.json", "write the observability (latency/queue-depth distribution) JSON here (empty to disable)")
 	tracePath := flag.String("trace", "", "write a JSONL event trace of the Theorem 1 (n=8) width-path run here")
+	shardsFlag := flag.Int("shards", shardMax, "largest shard count for the E25 partitioned-engine sweep")
+	shardDimsFlag := flag.String("shard-dims", "16,20", "comma-separated host dimensions for the E25 sweep")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run here")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) here")
 	flag.Parse()
+
+	if *shardsFlag >= 1 {
+		shardMax = *shardsFlag
+	}
+	if dims, err := parseDims(*shardDimsFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "shard-dims: %v\n", err)
+		os.Exit(1)
+	} else if len(dims) > 0 {
+		shardDims = dims
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -11,6 +11,15 @@ import (
 	"multipath/internal/obsv"
 )
 
+// The E25 shard sweep defaults to Q_16/Q_20 hosts — minutes of wall
+// clock that the regression gate does not need. Simulating Q_10 at a
+// few shard counts exercises the identical code paths.
+func init() {
+	shardDims = []int{10}
+	shardMax = 4
+	shardReps = 1
+}
+
 // Every experiment must run cleanly and produce a non-trivial table;
 // this is the regression gate for EXPERIMENTS.md regeneration. Running
 // through runExperiments with parallelism on also exercises the
@@ -111,6 +120,42 @@ func TestWriteBenchJSON(t *testing.T) {
 	if rep.EngineSpeedup == nil || rep.EngineSpeedup.Speedup != sp.Speedup {
 		t.Errorf("speedup not recorded: %+v", rep.EngineSpeedup)
 	}
+	checkEnv(t, rep.Env)
+	if rep.ShardSweep == nil {
+		t.Fatal("shard sweep not recorded")
+	}
+	if len(rep.ShardSweep.Cases) != len(shardDims) {
+		t.Fatalf("shard sweep has %d cases, want %d", len(rep.ShardSweep.Cases), len(shardDims))
+	}
+	for _, c := range rep.ShardSweep.Cases {
+		if len(c.Points) != len(shardCountSweep()) {
+			t.Errorf("Q_%d: %d points, want %d", c.Dims, len(c.Points), len(shardCountSweep()))
+		}
+		if c.Steps == 0 || c.FlitsMoved == 0 || c.BaselineMS <= 0 {
+			t.Errorf("Q_%d: degenerate case %+v", c.Dims, c)
+		}
+		for i, pt := range c.Points {
+			if pt.Shards != shardCountSweep()[i] {
+				t.Errorf("Q_%d point %d: shards=%d, want %d", c.Dims, i, pt.Shards, shardCountSweep()[i])
+			}
+			if pt.WallMS <= 0 || pt.Speedup <= 0 {
+				t.Errorf("Q_%d shards=%d: no timing recorded: %+v", c.Dims, pt.Shards, pt)
+			}
+		}
+	}
+}
+
+// checkEnv asserts the environment block every BENCH_*.json now
+// carries: shard speedups are unreadable without knowing the CPU
+// budget behind the workers.
+func checkEnv(t *testing.T, env benchEnv) {
+	t.Helper()
+	if env.GoMaxProcs < 1 || env.NumCPU < 1 {
+		t.Errorf("env not recorded: %+v", env)
+	}
+	if env.Shards != shardMax {
+		t.Errorf("env shards %d, want %d", env.Shards, shardMax)
+	}
 }
 
 // The construct report must record the arena construction engine's
@@ -160,6 +205,7 @@ func TestWriteConstructJSON(t *testing.T) {
 		t.Errorf("mp sweep: gomaxprocs %d, %d builds (want %d)",
 			rep.MPGoMaxProcs, len(rep.MPBuilds), len(names))
 	}
+	checkEnv(t, rep.Env)
 }
 
 // The fault-sweep report must carry one series per embedding×strategy,
@@ -226,6 +272,7 @@ func TestWriteFaultsJSON(t *testing.T) {
 			}
 		}
 	}
+	checkEnv(t, rep.Env)
 }
 
 // Paper-vs-measured agreement spot checks through the experiment layer.
@@ -350,6 +397,7 @@ func TestWriteObsvJSON(t *testing.T) {
 			t.Errorf("case %q missing from report", name)
 		}
 	}
+	checkEnv(t, rep.Env)
 }
 
 // obsvSummaryView/summaryView keep the quantile checks readable

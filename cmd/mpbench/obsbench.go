@@ -51,8 +51,9 @@ type obsvCase struct {
 }
 
 type obsvReport struct {
-	GeneratedAt string `json:"generated_at"`
-	Mode        string `json:"mode"`
+	GeneratedAt string   `json:"generated_at"`
+	Env         benchEnv `json:"env"`
+	Mode        string   `json:"mode"`
 	Flits       int    `json:"flits"`
 	// ProbeOnOverheadPct is the measured cost of *attaching* a Recorder
 	// (probe-on vs bare) on the Theorem 1 n=16 workload — the price of
@@ -259,6 +260,7 @@ func writeObsvJSON(path string) error {
 	}
 	out := *rep
 	out.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	out.Env = currentEnv()
 	data, err := json.MarshalIndent(&out, "", "  ")
 	if err != nil {
 		return err

@@ -41,9 +41,10 @@ func main() {
 	strategy := flag.String("strategy", "all", "ecube-sf | ecube-ct | ecube-wh | valiant | ccc | all")
 	obs := flag.Bool("obs", false, "report latency and queue-depth distributions per strategy")
 	tracePath := flag.String("trace", "", "write a JSONL event trace of every run here")
+	shards := flag.Int("shards", 1, "shard workers per buffered simulation (>1 uses the partitioned engine; results are identical)")
 	flag.Parse()
 
-	if err := run(*n, *flits, *seed, *strategy, *obs, *tracePath); err != nil {
+	if err := run(*n, *flits, *seed, *strategy, *obs, *tracePath, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "routesim:", err)
 		os.Exit(1)
 	}
@@ -57,7 +58,7 @@ type strategyEntry struct {
 	mode     netsim.Mode
 }
 
-func run(n, flits int, seed int64, strategy string, obs bool, tracePath string) error {
+func run(n, flits int, seed int64, strategy string, obs bool, tracePath string, shards int) error {
 	mc, err := multipath.CCCMultiCopy(n)
 	if err != nil {
 		return err
@@ -99,7 +100,7 @@ func run(n, flits int, seed int64, strategy string, obs bool, tracePath string) 
 	}
 
 	if obs || tracePath != "" {
-		return runObserved(entries, obs, tracePath)
+		return runObserved(entries, obs, tracePath, shards)
 	}
 
 	var jobs []netsim.BatchJob
@@ -110,7 +111,7 @@ func run(n, flits int, seed int64, strategy string, obs bool, tracePath string) 
 			continue
 		}
 		jobOf[i] = len(jobs)
-		jobs = append(jobs, netsim.BatchJob{Msgs: e.msgs, Mode: e.mode})
+		jobs = append(jobs, netsim.BatchJob{Msgs: e.msgs, Mode: e.mode, Shards: shards})
 	}
 	results, err := netsim.SimulateBatch(jobs)
 	if err != nil {
@@ -142,7 +143,7 @@ func printResult(name string, res *netsim.Result) {
 // (for -trace; its run counter keeps strategies separable in the
 // JSONL stream). Results are identical to the batch path — attaching a
 // probe never changes them.
-func runObserved(entries []strategyEntry, obs bool, tracePath string) error {
+func runObserved(entries []strategyEntry, obs bool, tracePath string, shards int) error {
 	var tw *obsv.TraceWriter
 	if tracePath != "" {
 		f, err := os.Create(tracePath)
@@ -166,7 +167,7 @@ func runObserved(entries []strategyEntry, obs bool, tracePath string) error {
 			}
 			res = &wr.Result
 		} else {
-			r, err := netsim.SimulateProbed(e.msgs, e.mode, probe)
+			r, err := netsim.SimulateShardedProbed(e.msgs, e.mode, shards, probe)
 			if err != nil {
 				return fmt.Errorf("%s: %w", e.name, err)
 			}

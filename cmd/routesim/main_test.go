@@ -9,14 +9,20 @@ import (
 )
 
 func TestRunAllStrategies(t *testing.T) {
-	if err := run(4, 16, 42, "all", false, ""); err != nil {
+	if err := run(4, 16, 42, "all", false, "", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllStrategiesSharded(t *testing.T) {
+	if err := run(4, 16, 42, "all", false, "", 4); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSingleStrategy(t *testing.T) {
 	for _, s := range []string{"ecube-sf", "ecube-ct", "ecube-wh", "valiant", "ccc"} {
-		if err := run(4, 8, 1, s, false, ""); err != nil {
+		if err := run(4, 8, 1, s, false, "", 1); err != nil {
 			t.Errorf("%s: %v", s, err)
 		}
 	}
@@ -24,7 +30,7 @@ func TestRunSingleStrategy(t *testing.T) {
 
 func TestRunObservedWithTrace(t *testing.T) {
 	trace := filepath.Join(t.TempDir(), "trace.jsonl")
-	if err := run(4, 8, 7, "all", true, trace); err != nil {
+	if err := run(4, 8, 7, "all", true, trace, 1); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(trace)
@@ -66,7 +72,7 @@ func TestRunObservedWithTrace(t *testing.T) {
 }
 
 func TestRunRejectsBadN(t *testing.T) {
-	if err := run(3, 8, 1, "all", false, ""); err == nil {
+	if err := run(3, 8, 1, "all", false, "", 1); err == nil {
 		t.Error("non-power-of-two accepted")
 	}
 }

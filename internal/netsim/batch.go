@@ -11,6 +11,11 @@ import (
 type BatchJob struct {
 	Msgs []*Message
 	Mode Mode
+	// Shards, when > 1, runs this job through the partitioned engine
+	// (SimulateSharded) with that many shard workers — for batches of
+	// few huge jobs rather than many small ones. 0 or 1 uses the
+	// single-shard engine; results are bit-identical either way.
+	Shards int
 }
 
 // SimulateBatch runs independent simulations across GOMAXPROCS worker
@@ -46,7 +51,11 @@ func SimulateBatch(jobs []BatchJob) ([]*Result, error) {
 				if i >= len(jobs) {
 					return
 				}
-				results[i], errs[i] = e.Simulate(jobs[i].Msgs, jobs[i].Mode)
+				if jobs[i].Shards > 1 {
+					results[i], errs[i] = SimulateSharded(jobs[i].Msgs, jobs[i].Mode, jobs[i].Shards)
+				} else {
+					results[i], errs[i] = e.Simulate(jobs[i].Msgs, jobs[i].Mode)
+				}
 			}
 		}()
 	}

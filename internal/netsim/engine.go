@@ -67,11 +67,14 @@ type Engine struct {
 	enq      []int32
 
 	// Fault-path scratch (SimulateFaults): dense link id → external
-	// id for fault queries and blame, per-message dead flags, and the
-	// kill batch collected per down link.
+	// id for fault queries and blame, per-message dead flags, the
+	// kill batch collected per down link, and the per-step batch of
+	// permanently-down links whose kills are deferred to the end of
+	// the transfer phase (see SimulateFaults).
 	ext  []int
 	dead []bool
 	kill []int32
+	down []int32
 
 	// Wormhole scratch (SimulateWormhole shares the numbering pass and
 	// the crossed array; the channel-holding state below is its own).
@@ -112,20 +115,33 @@ func stepLimit(totalFlits, maxRoute, nMsgs int) int {
 	return totalFlits*maxRoute + totalFlits + nMsgs + 16
 }
 
-// Simulate runs the synchronous simulation on this Engine's scratch
-// buffers. Semantics and results are identical to SimulateReference;
-// see the package documentation for the model.
-func (e *Engine) Simulate(msgs []*Message, mode Mode) (*Result, error) {
-	total, maxRoute, totalFlits := 0, 0, 0
+// routeShape summarizes the single validation/numbering scan shared by
+// every engine path: the distinct-link count of the numbering pass plus
+// the totals the step-limit bound and state sizing need.
+type routeShape struct {
+	links      int32
+	total      int // Σ len(route): route positions
+	maxRoute   int // longest route
+	totalFlits int // Σ flits
+}
+
+// numberAll validates the messages and runs the contiguous
+// link-numbering pass in one scan, returning the run's shape. Every
+// engine path (Simulate, SimulateFaults, simulateWormhole, and the
+// sharded engine) starts here, so flit validation and numbering cannot
+// drift between them. A warm engine performs no allocation in this
+// pass (pinned by TestNumberAllNoAllocs).
+func (e *Engine) numberAll(msgs []*Message) (routeShape, error) {
+	var sh routeShape
 	minID, maxID := 0, -1
 	seen := false
 	for i, m := range msgs {
 		if m.Flits < 1 {
-			return nil, fmt.Errorf("netsim: message %d has %d flits", i, m.Flits)
+			return sh, fmt.Errorf("netsim: message %d has %d flits", i, m.Flits)
 		}
-		totalFlits += m.Flits
-		if len(m.Route) > maxRoute {
-			maxRoute = len(m.Route)
+		sh.totalFlits += m.Flits
+		if len(m.Route) > sh.maxRoute {
+			sh.maxRoute = len(m.Route)
 		}
 		for _, id := range m.Route {
 			if !seen || id < minID {
@@ -136,11 +152,23 @@ func (e *Engine) Simulate(msgs []*Message, mode Mode) (*Result, error) {
 			}
 			seen = true
 		}
-		total += len(m.Route)
+		sh.total += len(m.Route)
 	}
+	sh.links = e.number(msgs, sh.total, minID, maxID)
+	return sh, nil
+}
 
-	links := e.number(msgs, total, minID, maxID)
-	e.growState(len(msgs), total, int(links))
+// Simulate runs the synchronous simulation on this Engine's scratch
+// buffers. Semantics and results are identical to SimulateReference;
+// see the package documentation for the model.
+func (e *Engine) Simulate(msgs []*Message, mode Mode) (*Result, error) {
+	shape, err := e.numberAll(msgs)
+	if err != nil {
+		return nil, err
+	}
+	links := shape.links
+	totalFlits, maxRoute := shape.totalFlits, shape.maxRoute
+	e.growState(len(msgs), shape.total, int(links))
 	if e.probe != nil {
 		e.fillExt(msgs, links)
 		e.beginProbe(msgs, links, mode, false)
@@ -392,7 +420,7 @@ func (e *Engine) addCredit(l int32, c int) {
 	e.credit[l] += c
 }
 
-func grow[T int | int32 | uint32 | bool](s []T, n int) []T {
+func grow[T int | int32 | uint32 | uint8 | bool](s []T, n int) []T {
 	if cap(s) < n {
 		return make([]T, n)
 	}

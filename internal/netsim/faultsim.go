@@ -103,28 +103,12 @@ func SimulateFaults(msgs []*Message, mode Mode, opts FaultOpts) (*FaultResult, e
 // (same arbitration, same Result), guarded by regression and fuzz
 // tests.
 func (e *Engine) SimulateFaults(msgs []*Message, mode Mode, opts FaultOpts) (*FaultResult, error) {
-	total, maxRoute, totalFlits := 0, 0, 0
-	minID, maxID := 0, -1
-	seen := false
-	for i, m := range msgs {
-		if m.Flits < 1 {
-			return nil, fmt.Errorf("netsim: message %d has %d flits", i, m.Flits)
-		}
-		totalFlits += m.Flits
-		if len(m.Route) > maxRoute {
-			maxRoute = len(m.Route)
-		}
-		for _, id := range m.Route {
-			if !seen || id < minID {
-				minID = id
-			}
-			if !seen || id > maxID {
-				maxID = id
-			}
-			seen = true
-		}
-		total += len(m.Route)
+	shape, err := e.numberAll(msgs)
+	if err != nil {
+		return nil, err
 	}
+	links := shape.links
+	totalFlits, maxRoute := shape.totalFlits, shape.maxRoute
 
 	limit := opts.StepLimit
 	graceful := limit > 0
@@ -149,8 +133,7 @@ func (e *Engine) SimulateFaults(msgs []*Message, mode Mode, opts FaultOpts) (*Fa
 		limit = stepLimit(totalFlits, maxRoute, len(msgs)) + h
 	}
 
-	links := e.number(msgs, total, minID, maxID)
-	e.growState(len(msgs), total, int(links))
+	e.growState(len(msgs), shape.total, int(links))
 
 	// Dense link id → external id, for fault queries and blame. Filled
 	// by one extra pass over the routes so the fault-free numbering
@@ -205,20 +188,23 @@ func (e *Engine) SimulateFaults(msgs []*Message, mode Mode, opts FaultOpts) (*Fa
 		cur := e.work
 		e.work = e.scratch[:0]
 		arr := e.arrivals[:0]
+		down := e.down[:0]
 		for _, l := range cur {
 			if e.credit[l] <= 0 {
 				e.inWork[l] = false
 				continue
 			}
 			if opts.Faults != nil {
-				if down, perm := opts.Faults.Status(e.ext[l], opts.StepOffset+step); down {
+				if dn, perm := opts.Faults.Status(e.ext[l], opts.StepOffset+step); dn {
 					if !perm {
 						// Transient outage: hold the link in the
 						// worklist and retry next step.
 						e.work = append(e.work, l)
 						continue
 					}
-					remaining -= e.failQueued(l, step, fr)
+					// Permanent outage: defer the kill to the end of
+					// the transfer phase (see below).
+					down = append(down, l)
 					e.inWork[l] = false
 					continue
 				}
@@ -260,10 +246,29 @@ func (e *Engine) SimulateFaults(msgs []*Message, mode Mode, opts FaultOpts) (*Fa
 				e.inWork[l] = false
 			}
 		}
+		// Kill phase: permanently-down links collected during the
+		// transfer phase fail their sendable queued messages now, in
+		// ascending dense-link-id order. Deferring the kills out of
+		// the transfer loop makes the step canonical — the worklist
+		// order (an artifact of credit-activation history) no longer
+		// decides which flits squeeze through on other links before a
+		// doomed message dies, or which of two down links gets the
+		// blame. The kill set itself is loop-order-invariant: a down
+		// link moves nothing, so its queue's sendable set cannot
+		// change during the transfer phase. This is also exactly the
+		// order the sharded engine's kill barrier replays, which is
+		// what makes SimulateFaultsSharded bit-identical to this path.
+		if len(down) > 0 {
+			slices.Sort(down)
+			for _, l := range down {
+				remaining -= e.failQueued(l, step, fr)
+			}
+		}
+		e.down = down
 		// Arrival phase, identical to Simulate except that flits of
-		// messages killed later in the same step are absorbed: their
-		// crossings happened (FlitsMoved counts them) but they must
-		// not feed downstream hops or deliver.
+		// messages killed this step are absorbed: their crossings
+		// happened (FlitsMoved counts them) but they must not feed
+		// downstream hops or deliver.
 		enq := e.enq[:0]
 		for _, p := range arr {
 			mi := e.posMsg[p]

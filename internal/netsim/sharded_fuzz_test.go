@@ -1,0 +1,51 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzSimulateSharded asserts sharded-vs-single-shard bit-identity
+// over the same bounded input space as FuzzSimulateFaults (random
+// route sets × random fault schedules, both buffering modes) at
+// shards ∈ {2, 3, 8} — splits below, at, and above the 12-link fuzz
+// id space, so clamping and near-empty shards are exercised too. The
+// single-shard engines are the golden model; any divergence in
+// Result, FaultResult, or Outcomes is a bug in the partitioning.
+func FuzzSimulateSharded(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{3, 2, 1, 1, 4, 2, 1, 2, 5}, []byte{2, 1, 1, 0, 5, 9, 1})
+	f.Add([]byte{7, 6, 0, 1, 2, 3, 4, 5, 8}, []byte{6, 0, 1, 0, 1, 1, 1, 2, 2, 0, 3, 3, 1, 9})
+	f.Add([]byte{5, 1, 3, 2, 1, 3, 2, 1, 3, 2}, []byte{1, 3, 1, 0})
+	f.Add([]byte{2, 2, 9, 9, 4, 2, 9, 9, 4}, []byte{2, 9, 2, 0, 9, 5, 1, 3})
+	f.Fuzz(func(t *testing.T, routeData, schedData []byte) {
+		msgs := decodeFuzzMessages(routeData)
+		sched := decodeFuzzSchedule(schedData)
+		for _, mode := range []Mode{StoreAndForward, CutThrough} {
+			want, err := Simulate(msgs, mode)
+			if err != nil {
+				t.Fatalf("%v single: %v", mode, err)
+			}
+			wantF, err := SimulateFaults(msgs, mode, FaultOpts{Faults: sched})
+			if err != nil {
+				t.Fatalf("%v single faults: %v", mode, err)
+			}
+			for _, shards := range []int{2, 3, 8} {
+				got, err := SimulateSharded(msgs, mode, shards)
+				if err != nil {
+					t.Fatalf("%v shards=%d: %v", mode, shards, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%v shards=%d: %+v != single-shard %+v", mode, shards, got, want)
+				}
+				gotF, err := SimulateFaultsSharded(msgs, mode, FaultOpts{Faults: sched}, shards)
+				if err != nil {
+					t.Fatalf("%v shards=%d faults: %v", mode, shards, err)
+				}
+				if !reflect.DeepEqual(gotF, wantF) {
+					t.Fatalf("%v shards=%d faults: %+v != single-shard %+v", mode, shards, gotF, wantF)
+				}
+			}
+		}
+	})
+}

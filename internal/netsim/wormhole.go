@@ -58,28 +58,14 @@ func SimulateWormhole(msgs []*Message) (*WormholeResult, error) {
 }
 
 func (e *Engine) simulateWormhole(msgs []*Message) (*WormholeResult, error) {
-	// Dense link numbering over the routes (shared with Engine.Simulate;
-	// ids are assigned in first-appearance order, matching the original
-	// map-based pass) and flat position state.
-	total := 0
-	minID, maxID := 0, -1
-	seen := false
-	for i, m := range msgs {
-		if m.Flits < 1 {
-			return nil, fmt.Errorf("netsim: message %d has %d flits", i, m.Flits)
-		}
-		for _, id := range m.Route {
-			if !seen || id < minID {
-				minID = id
-			}
-			if !seen || id > maxID {
-				maxID = id
-			}
-			seen = true
-		}
-		total += len(m.Route)
+	// Dense link numbering over the routes (the same numberAll pass as
+	// Engine.Simulate; ids are assigned in first-appearance order,
+	// matching the original map-based pass) and flat position state.
+	shape, err := e.numberAll(msgs)
+	if err != nil {
+		return nil, err
 	}
-	links := int(e.number(msgs, total, minID, maxID))
+	total, links := shape.total, int(shape.links)
 	if e.probe != nil {
 		e.fillExt(msgs, int32(links))
 		e.beginProbe(msgs, int32(links), 0, true)

@@ -32,7 +32,12 @@ type RecorderOpts struct {
 //
 // A Recorder accumulates across runs until discarded; it is not safe
 // for concurrent use (a probe observes one engine, which is itself
-// single-goroutine).
+// single-goroutine). The sharded engine fits that contract two ways:
+// netsim.SimulateShardedProbed delivers one merged, canonically
+// ordered stream to a single Recorder, and
+// netsim.SimulateShardedProbes gives each shard its own Recorder —
+// folded together afterwards with Merge — so recording never crosses
+// a goroutine.
 type Recorder struct {
 	// FlitLatency observes the arrival step of every flit at its
 	// destination; MsgLatency the completion step of every delivered

@@ -29,6 +29,9 @@
 //   - SimulateProbed + NewRecorder/NewTraceWriter: the same simulations
 //     observed through a probe — latency/queue-depth distributions and
 //     JSONL event traces; attaching a probe never changes results.
+//   - SimulateSharded / SimulateFaultsSharded: the same simulations run
+//     by a partitioned engine across shard-worker goroutines —
+//     bit-identical results, built for million-node (Q_20–Q_22) traffic.
 //
 // All metrics (load, dilation, width, congestion, packet cost) are
 // recomputed by independent verifiers on the returned Embedding values;
@@ -319,6 +322,22 @@ func SimulateWormhole(msgs []*Message) (*netsim.WormholeResult, error) {
 // completions; the returned Result is bit-identical to Simulate's.
 func SimulateProbed(msgs []*Message, mode netsim.Mode, p Probe) (*SimResult, error) {
 	return netsim.SimulateProbed(msgs, mode, p)
+}
+
+// SimulateSharded runs Simulate partitioned across the given number of
+// shard-worker goroutines, each owning a contiguous range of the dense
+// link space. Results are bit-identical to Simulate for every shard
+// count; shards ≤ 1 is exactly the single-shard engine.
+func SimulateSharded(msgs []*Message, mode netsim.Mode, shards int) (*SimResult, error) {
+	return netsim.SimulateSharded(msgs, mode, shards)
+}
+
+// SimulateFaultsSharded is SimulateFaults on the partitioned engine:
+// each shard evaluates its own links' fault state, and the results —
+// outcomes, blame, timed-out sets — are bit-identical to
+// SimulateFaults for every shard count.
+func SimulateFaultsSharded(msgs []*Message, mode netsim.Mode, opts FaultOpts, shards int) (*FaultSimResult, error) {
+	return netsim.SimulateFaultsSharded(msgs, mode, opts, shards)
 }
 
 // NewRecorder returns a probe that aggregates latency and queue-depth

@@ -90,6 +90,28 @@ func TestSimulationJourney(t *testing.T) {
 	if ct.Steps >= sf.Steps {
 		t.Errorf("cut-through %d not faster than store-and-forward %d", ct.Steps, sf.Steps)
 	}
+	// The partitioned engine is the same simulation: identical results
+	// at any shard count, through the facade too.
+	sharded, err := SimulateSharded([]*Message{
+		{Route: []int{1, 2, 3}, Flits: 8},
+		{Route: []int{3, 4}, Flits: 8},
+	}, CutThrough, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *sharded != *ct {
+		t.Errorf("sharded result %+v != single-shard %+v", sharded, ct)
+	}
+	fr, err := SimulateFaultsSharded([]*Message{
+		{Route: []int{1, 2, 3}, Flits: 8},
+		{Route: []int{3, 4}, Flits: 8},
+	}, CutThrough, FaultOpts{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Result != *ct {
+		t.Errorf("fault-free sharded faultsim %+v != %+v", fr.Result, *ct)
+	}
 }
 
 func TestDecompositionJourney(t *testing.T) {
