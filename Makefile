@@ -40,9 +40,9 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-# Go benchmarks, then a full mpbench run to refresh all four perf
+# Go benchmarks, then a full mpbench run to refresh all five perf
 # records (BENCH_netsim.json, BENCH_construct.json, BENCH_faults.json,
-# BENCH_obsv.json).
+# BENCH_obsv.json, BENCH_traffic.json).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/mpbench > /dev/null
@@ -59,6 +59,7 @@ fuzz-short:
 	$(GO) test -run=^$$ -fuzz=FuzzSimulateFaults -fuzztime=$(FUZZTIME) ./internal/netsim
 	$(GO) test -run=^$$ -fuzz=FuzzSimulateProbed -fuzztime=$(FUZZTIME) ./internal/netsim
 	$(GO) test -run=^$$ -fuzz=FuzzSimulateSharded -fuzztime=$(FUZZTIME) ./internal/netsim
+	$(GO) test -run=^$$ -fuzz=FuzzSimulateOpenLoop -fuzztime=$(FUZZTIME) ./internal/netsim
 	$(GO) test -run=^$$ -fuzz=FuzzGrayRoundTrip -fuzztime=$(FUZZTIME) ./internal/bitutil
 	$(GO) test -run=^$$ -fuzz=FuzzMomentFlip -fuzztime=$(FUZZTIME) ./internal/bitutil
 	$(GO) test -run=^$$ -fuzz=FuzzPrefixConsistency -fuzztime=$(FUZZTIME) ./internal/bitutil

@@ -16,8 +16,12 @@
 // versus link-fault probability for single-path versus IDA transport),
 // and BENCH_obsv.json (the observability layer: flit/message latency
 // and per-link queue-depth distributions with p50/p95/p99 summaries
-// for the Theorem 1/2 workloads at n = 16 and the E23 sweep), giving
-// future changes a perf trajectory to compare against.
+// for the Theorem 1/2 workloads at n = 16 and the E23 sweep), and
+// BENCH_traffic.json (the E26 open-loop sweep: steady-state latency
+// percentiles versus offered load with saturation throughput, plus the
+// open-loop engine's measured speedup over the naive per-step
+// baseline), giving future changes a perf trajectory to compare
+// against.
 //
 // Usage:
 //
@@ -31,6 +35,8 @@
 //	mpbench -obs-json ""     # skip the observability distribution report
 //	mpbench -trace t.jsonl   # export a JSONL event trace of a reference run
 //	mpbench -shards 8 -shard-dims 16,20  # size the E25 partitioned-engine sweep
+//	mpbench -load 0.1,0.5,1.0 -arrival mmpp  # shape the E26 offered-load sweep
+//	mpbench -traffic-json ""  # skip the open-loop sweep report
 //	mpbench -cpuprofile cpu.prof -memprofile mem.prof  # pprof the run
 package main
 
@@ -154,7 +160,24 @@ func experimentList() []experiment {
 		{"E23", "Measured fault tolerance: single path vs IDA under link faults", runE23},
 		{"E24", "Observability: latency and queue-depth distributions via probes", runE24},
 		{"E25", "Sharded engine: partitioned simulation of million-node traffic", runE25},
+		{"E26", "Open-loop steady state: latency vs offered load, saturation throughput", runE26},
 	}
+}
+
+// parseLoads parses the -load flag ("0.1,0.5" → [0.1 0.5]).
+func parseLoads(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var loads []float64
+	for _, part := range strings.Split(s, ",") {
+		var v float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%g", &v); err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad load %q", part)
+		}
+		loads = append(loads, v)
+	}
+	return loads, nil
 }
 
 // runExperiments executes the given suites — serially in order, or
@@ -207,6 +230,10 @@ func main() {
 	tracePath := flag.String("trace", "", "write a JSONL event trace of the Theorem 1 (n=8) width-path run here")
 	shardsFlag := flag.Int("shards", shardMax, "largest shard count for the E25 partitioned-engine sweep")
 	shardDimsFlag := flag.String("shard-dims", "16,20", "comma-separated host dimensions for the E25 sweep")
+	trafficPath := flag.String("traffic-json", "BENCH_traffic.json", "write the E26 open-loop latency-vs-load sweep JSON here (empty to disable)")
+	loadFlag := flag.String("load", "", "comma-separated offered loads for the E26 sweep (fractions of window capacity, e.g. 0.1,0.5,1.0)")
+	arrivalFlag := flag.String("arrival", trafficArrival, "E26 arrival process: poisson or mmpp")
+	trafficDimsFlag := flag.String("traffic-dims", "", "comma-separated host dimensions for the E26 sweep (default 12,16)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run here")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) here")
 	flag.Parse()
@@ -219,6 +246,23 @@ func main() {
 		os.Exit(1)
 	} else if len(dims) > 0 {
 		shardDims = dims
+	}
+	if loads, err := parseLoads(*loadFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "load: %v\n", err)
+		os.Exit(1)
+	} else if len(loads) > 0 {
+		trafficLoads = loads
+	}
+	if *arrivalFlag != "poisson" && *arrivalFlag != "mmpp" {
+		fmt.Fprintf(os.Stderr, "arrival: unknown process %q (want poisson or mmpp)\n", *arrivalFlag)
+		os.Exit(1)
+	}
+	trafficArrival = *arrivalFlag
+	if dims, err := parseDims(*trafficDimsFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "traffic-dims: %v\n", err)
+		os.Exit(1)
+	} else if len(dims) > 0 {
+		trafficDims = dims
 	}
 
 	if *cpuProfile != "" {
@@ -304,6 +348,14 @@ func main() {
 			failed++
 		} else {
 			fmt.Printf("wrote %s (observability: latency and queue-depth distributions)\n", *obsPath)
+		}
+	}
+	if *trafficPath != "" {
+		if err := writeTrafficJSON(*trafficPath); err != nil {
+			fmt.Fprintf(os.Stderr, "traffic json: %v\n", err)
+			failed++
+		} else {
+			fmt.Printf("wrote %s (open-loop latency-vs-load sweep with saturation throughput)\n", *trafficPath)
 		}
 	}
 	if *tracePath != "" {

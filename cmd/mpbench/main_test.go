@@ -18,6 +18,14 @@ func init() {
 	shardDims = []int{10}
 	shardMax = 4
 	shardReps = 1
+	// The E26 open-loop sweep likewise shrinks to one small host, two
+	// loads, and short traces; the code paths are identical.
+	trafficDims = []int{10}
+	trafficEdges = 16
+	trafficLoads = []float64{0.1, 0.8}
+	trafficN = 1500
+	trafficReps = 1
+	trickleN = 300
 }
 
 // Every experiment must run cleanly and produce a non-trivial table;
@@ -395,6 +403,78 @@ func TestWriteObsvJSON(t *testing.T) {
 	for name, seen := range want {
 		if !seen {
 			t.Errorf("case %q missing from report", name)
+		}
+	}
+	checkEnv(t, rep.Env)
+}
+
+// BENCH_traffic.json shape: one case per embedding×dimension with a
+// point per swept load, ordered quantiles, a detected saturation point,
+// and both speedup records showing the open-loop engine ahead of the
+// naive per-step baseline.
+func TestWriteTrafficJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the open-loop sweep")
+	}
+	path := filepath.Join(t.TempDir(), "traffic.json")
+	if err := writeTrafficJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep trafficReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cases) != 2*len(trafficDims) {
+		t.Fatalf("report has %d cases, want %d (theorem1+theorem2 per dim)", len(rep.Cases), 2*len(trafficDims))
+	}
+	for _, c := range rep.Cases {
+		if c.Capacity <= 0 || c.Templates == 0 || c.MeanFlitHops <= 0 {
+			t.Errorf("%s Q_%d: degenerate case %+v", c.Embedding, c.Dims, c)
+		}
+		if len(c.Points) != len(trafficLoads) {
+			t.Fatalf("%s Q_%d: %d points, want %d", c.Embedding, c.Dims, len(c.Points), len(trafficLoads))
+		}
+		for i, pt := range c.Points {
+			if pt.Load != trafficLoads[i] {
+				t.Errorf("%s Q_%d point %d: load %g, want %g", c.Embedding, c.Dims, i, pt.Load, trafficLoads[i])
+			}
+			if pt.Delivered != pt.Arrivals {
+				t.Errorf("%s Q_%d load %g: delivered %d of %d", c.Embedding, c.Dims, pt.Load, pt.Delivered, pt.Arrivals)
+			}
+			s := pt.Latency
+			if s.N == 0 || !(s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+				t.Errorf("%s Q_%d load %g: bad latency summary %+v", c.Embedding, c.Dims, pt.Load, s)
+			}
+			if uint64(pt.Arrivals) <= s.N {
+				t.Errorf("%s Q_%d load %g: warm-up not excluded (%d observed of %d)",
+					c.Embedding, c.Dims, pt.Load, s.N, pt.Arrivals)
+			}
+		}
+		// Latency must not improve as load rises past the first point.
+		if c.Points[len(c.Points)-1].Latency.Mean < c.Points[0].Latency.Mean {
+			t.Errorf("%s Q_%d: latency fell with load: %+v", c.Embedding, c.Dims, c.Points)
+		}
+		if c.SaturationLoad <= 0 || c.SaturationThroughput <= 0 {
+			t.Errorf("%s Q_%d: no saturation point detected: %+v", c.Embedding, c.Dims, c)
+		}
+	}
+	if len(rep.Speedups) != 2 {
+		t.Fatalf("report has %d speedup records, want 2", len(rep.Speedups))
+	}
+	for _, sp := range rep.Speedups {
+		if sp.EngineMS <= 0 || sp.NaiveMS <= 0 {
+			t.Errorf("%s: no timing recorded: %+v", sp.Case, sp)
+		}
+		// The leap-clock trickle case must win even at test scale; the
+		// full-size ≥5x acceptance bar is asserted when BENCH_traffic.json
+		// is regenerated (make bench), not at the shrunken test sizes.
+		if strings.Contains(sp.Case, "trickle") && sp.Speedup <= 1 {
+			t.Errorf("%s: open-loop engine not faster than naive baseline: %.2fx (%.2fms vs %.2fms)",
+				sp.Case, sp.Speedup, sp.EngineMS, sp.NaiveMS)
 		}
 	}
 	checkEnv(t, rep.Env)

@@ -59,6 +59,9 @@ type strategyEntry struct {
 }
 
 func run(n, flits int, seed int64, strategy string, obs bool, tracePath string, shards int) error {
+	if shards < 0 {
+		return fmt.Errorf("-shards must be nonnegative, got %d", shards)
+	}
 	mc, err := multipath.CCCMultiCopy(n)
 	if err != nil {
 		return err

@@ -76,3 +76,9 @@ func TestRunRejectsBadN(t *testing.T) {
 		t.Error("non-power-of-two accepted")
 	}
 }
+
+func TestRunRejectsNegativeShards(t *testing.T) {
+	if err := run(4, 8, 1, "all", false, "", -1); err == nil {
+		t.Error("negative -shards accepted")
+	}
+}

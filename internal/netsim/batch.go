@@ -15,6 +15,7 @@ type BatchJob struct {
 	// (SimulateSharded) with that many shard workers — for batches of
 	// few huge jobs rather than many small ones. 0 or 1 uses the
 	// single-shard engine; results are bit-identical either way.
+	// Negative values are rejected by SimulateBatch.
 	Shards int
 }
 
@@ -27,6 +28,11 @@ type BatchJob struct {
 // results for jobs that completed are still returned.
 func SimulateBatch(jobs []BatchJob) ([]*Result, error) {
 	results := make([]*Result, len(jobs))
+	for i := range jobs {
+		if jobs[i].Shards < 0 {
+			return results, fmt.Errorf("netsim: batch job %d: negative shard count %d", i, jobs[i].Shards)
+		}
+	}
 	if len(jobs) == 0 {
 		return results, nil
 	}

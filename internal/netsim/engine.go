@@ -76,6 +76,28 @@ type Engine struct {
 	kill []int32
 	down []int32
 
+	// Open-loop slot arena (SimulateOpenLoop). Messages are numbered as
+	// route *templates*; each injected arrival occupies a slot whose
+	// position range is recycled through a per-template free list, so
+	// state is proportional to the in-flight window, not the injected
+	// total. These arrays grow by append (the generic grow() does not
+	// preserve contents) and are truncated, not cleared, between runs.
+	olSlotTmpl []int32   // slot → template index
+	olSlotOff  []int32   // slot → first position in the ol arrays
+	olSlotMsg  []int32   // slot → trace message id (-1 when free)
+	olSlotArr  []int     // slot → arrival step of the current occupant
+	olSlotFl   []int     // slot → flits (fixed per template)
+	olSlotDead []bool    // slot → killed this step, freed at step end
+	olFree     [][]int32 // template → free slot ids
+	olKilled   []int32   // per-step batch of slots killed by faults
+	olRoute    []int32   // position → dense link id (copied from template)
+	olPosSlot  []int32   // position → owning slot
+	olArrived  []int     // per-position state, as in the closed-loop arrays
+	olCrossed  []int
+	olBuffer   []int
+	olQueued   []bool
+	olQNext    []int32
+
 	// Wormhole scratch (SimulateWormhole shares the numbering pass and
 	// the crossed array; the channel-holding state below is its own).
 	whHead, whTail []int32

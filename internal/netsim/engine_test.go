@@ -225,4 +225,9 @@ func TestSimulateBatchEmptyAndError(t *testing.T) {
 	if res[0] == nil {
 		t.Error("healthy job result dropped on sibling failure")
 	}
+	if _, err := SimulateBatch([]BatchJob{
+		{Msgs: []*Message{{Route: []int{1}, Flits: 1}}, Mode: CutThrough, Shards: -2},
+	}); err == nil {
+		t.Error("negative shard count accepted")
+	}
 }

@@ -1,0 +1,89 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"multipath/internal/netsim"
+)
+
+// This file is the arrival layer for open-loop steady-state runs:
+// deterministic, seeded stochastic processes that choose *when* a
+// message enters the network and *which* route template it uses.
+// Templates are whatever a message builder produced (WidthPathMessages,
+// MultiCopyCCCMessages, ...); the processes here only pick indices into
+// that set, uniformly at random, so the same builders serve closed- and
+// open-loop experiments. Traces are materialized (netsim.Trace) rather
+// than streamed so a run can be replayed bit-identically through both
+// netsim.SimulateOpenLoop and its naive golden model.
+
+// PoissonArrivals draws count arrivals of a Poisson process with the
+// given rate (expected arrivals per step), each naming one of ntmpl
+// route templates uniformly. The same seed always yields the same
+// trace. Inter-arrival gaps are exponential in continuous time and
+// floored onto the integer step grid, so same-step bursts occur
+// naturally when rate is high.
+func PoissonArrivals(seed int64, rate float64, count, ntmpl int) (*netsim.Trace, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("traffic: Poisson rate must be positive, got %v", rate)
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("traffic: arrival count must be nonnegative, got %d", count)
+	}
+	if count > 0 && ntmpl < 1 {
+		return nil, fmt.Errorf("traffic: need at least one template, got %d", ntmpl)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tr := &netsim.Trace{Arrivals: make([]netsim.Arrival, 0, count)}
+	t := 0.0
+	for i := 0; i < count; i++ {
+		t += rng.ExpFloat64() / rate
+		tr.Arrivals = append(tr.Arrivals, netsim.Arrival{Step: int(t), Tmpl: int32(rng.Intn(ntmpl))})
+	}
+	return tr, nil
+}
+
+// MMPPArrivals draws count arrivals of a two-state Markov-modulated
+// Poisson process: the process dwells in a low-rate and a high-rate
+// phase, each for an exponentially distributed time with mean
+// meanDwell steps, and emits Poisson arrivals at the phase's rate.
+// With lowRate ≪ highRate this produces the bursty traffic the
+// single-rate process cannot: long quiet stretches (which the
+// open-loop engine leaps over) punctuated by saturating bursts. The
+// process starts in the low phase; the same seed always yields the
+// same trace.
+func MMPPArrivals(seed int64, lowRate, highRate, meanDwell float64, count, ntmpl int) (*netsim.Trace, error) {
+	if lowRate <= 0 || highRate <= 0 {
+		return nil, fmt.Errorf("traffic: MMPP rates must be positive, got %v and %v", lowRate, highRate)
+	}
+	if meanDwell <= 0 {
+		return nil, fmt.Errorf("traffic: MMPP mean dwell must be positive, got %v", meanDwell)
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("traffic: arrival count must be nonnegative, got %d", count)
+	}
+	if count > 0 && ntmpl < 1 {
+		return nil, fmt.Errorf("traffic: need at least one template, got %d", ntmpl)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tr := &netsim.Trace{Arrivals: make([]netsim.Arrival, 0, count)}
+	rates := [2]float64{lowRate, highRate}
+	phase := 0
+	t := 0.0
+	dwell := rng.ExpFloat64() * meanDwell // time left in the current phase
+	for len(tr.Arrivals) < count {
+		gap := rng.ExpFloat64() / rates[phase]
+		if gap > dwell {
+			// The phase ends before the next arrival would occur. By
+			// memorylessness the arrival clock restarts in the new phase.
+			t += dwell
+			phase = 1 - phase
+			dwell = rng.ExpFloat64() * meanDwell
+			continue
+		}
+		t += gap
+		dwell -= gap
+		tr.Arrivals = append(tr.Arrivals, netsim.Arrival{Step: int(t), Tmpl: int32(rng.Intn(ntmpl))})
+	}
+	return tr, nil
+}

@@ -1,0 +1,184 @@
+package traffic
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"multipath/internal/cycles"
+	"multipath/internal/netsim"
+)
+
+func TestPoissonArrivalsDeterministic(t *testing.T) {
+	a, err := PoissonArrivals(7, 0.25, 500, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PoissonArrivals(7, 0.25, 500, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	c, err := PoissonArrivals(8, 0.25, 500, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestPoissonArrivalsShape(t *testing.T) {
+	const rate, count = 0.1, 20000
+	tr, err := PoissonArrivals(3, rate, count, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Arrivals) != count {
+		t.Fatalf("got %d arrivals, want %d", len(tr.Arrivals), count)
+	}
+	prev := 0
+	for i, a := range tr.Arrivals {
+		if a.Step < prev {
+			t.Fatalf("arrival %d: step %d after %d", i, a.Step, prev)
+		}
+		prev = a.Step
+		if a.Tmpl < 0 || a.Tmpl >= 4 {
+			t.Fatalf("arrival %d: template %d out of range", i, a.Tmpl)
+		}
+	}
+	// The empirical rate should be near the requested one.
+	got := float64(count) / float64(tr.Arrivals[count-1].Step)
+	if math.Abs(got-rate)/rate > 0.05 {
+		t.Fatalf("empirical rate %v, want ≈%v", got, rate)
+	}
+}
+
+func TestMMPPArrivals(t *testing.T) {
+	const low, high, dwell, count = 0.01, 1.0, 500.0, 20000
+	a, err := MMPPArrivals(11, low, high, dwell, count, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MMPPArrivals(11, low, high, dwell, count, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	if len(a.Arrivals) != count {
+		t.Fatalf("got %d arrivals, want %d", len(a.Arrivals), count)
+	}
+	prev := 0
+	for i, ar := range a.Arrivals {
+		if ar.Step < prev {
+			t.Fatalf("arrival %d: step %d after %d", i, ar.Step, prev)
+		}
+		prev = ar.Step
+		if ar.Tmpl < 0 || ar.Tmpl >= 3 {
+			t.Fatalf("arrival %d: template %d out of range", i, ar.Tmpl)
+		}
+	}
+	// The modulated rate sits strictly between the two phase rates, and
+	// the process is burstier than a Poisson process of the same mean:
+	// the phases spend about equal time, so arrivals concentrate in the
+	// high phase and the empirical rate lands near high/2 ≫ low.
+	mean := float64(count) / float64(a.Arrivals[count-1].Step)
+	if mean <= low || mean >= high {
+		t.Fatalf("empirical rate %v outside (%v, %v)", mean, low, high)
+	}
+	// Burstiness: the fraction of same-or-adjacent-step gaps is far
+	// higher than a Poisson process at the mean rate would give.
+	short := 0
+	for i := 1; i < count; i++ {
+		if a.Arrivals[i].Step-a.Arrivals[i-1].Step <= 1 {
+			short++
+		}
+	}
+	poisson, err := PoissonArrivals(11, mean, count, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pshort := 0
+	for i := 1; i < count; i++ {
+		if poisson.Arrivals[i].Step-poisson.Arrivals[i-1].Step <= 1 {
+			pshort++
+		}
+	}
+	if short <= pshort {
+		t.Fatalf("MMPP not burstier than Poisson at same mean: %d vs %d short gaps", short, pshort)
+	}
+}
+
+func TestArrivalErrors(t *testing.T) {
+	if _, err := PoissonArrivals(1, 0, 10, 2); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := PoissonArrivals(1, -0.5, 10, 2); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := PoissonArrivals(1, 0.5, -1, 2); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := PoissonArrivals(1, 0.5, 10, 0); err == nil {
+		t.Error("zero templates accepted with positive count")
+	}
+	if tr, err := PoissonArrivals(1, 0.5, 0, 0); err != nil || len(tr.Arrivals) != 0 {
+		t.Errorf("empty request should succeed: %v, %v", tr, err)
+	}
+	if _, err := MMPPArrivals(1, 0, 1, 10, 10, 2); err == nil {
+		t.Error("zero low rate accepted")
+	}
+	if _, err := MMPPArrivals(1, 1, -1, 10, 10, 2); err == nil {
+		t.Error("negative high rate accepted")
+	}
+	if _, err := MMPPArrivals(1, 1, 2, 0, 10, 2); err == nil {
+		t.Error("zero dwell accepted")
+	}
+	if _, err := MMPPArrivals(1, 1, 2, 10, -1, 2); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := MMPPArrivals(1, 1, 2, 10, 10, 0); err == nil {
+		t.Error("zero templates accepted with positive count")
+	}
+}
+
+// TestArrivalsDriveOpenLoop closes the loop end to end: a Poisson
+// trace over Theorem 1 width-path templates runs through the open-loop
+// engine, delivers everything, and matches the naive golden model.
+func TestArrivalsDriveOpenLoop(t *testing.T) {
+	emb, err := cycles.Theorem1(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpls, err := WidthPathMessages(emb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := PoissonArrivals(5, 0.05, 300, len(tmpls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := netsim.SimulateOpenLoop(tmpls, tr.Source(), netsim.OpenLoopOpts{Mode: netsim.CutThrough})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := netsim.SimulateOpenLoopReference(tmpls, tr.Source(), netsim.OpenLoopOpts{Mode: netsim.CutThrough})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := *opt
+	cmp.SkippedSteps = 0
+	if !reflect.DeepEqual(&cmp, ref) {
+		t.Fatalf("engine %+v != reference %+v", cmp, *ref)
+	}
+	if opt.Injected != 300 || opt.DeliveredMsgs != 300 {
+		t.Fatalf("injected %d delivered %d, want 300/300", opt.Injected, opt.DeliveredMsgs)
+	}
+	if opt.SkippedSteps == 0 {
+		t.Fatal("low-rate Poisson trace should have quiescent gaps to leap over")
+	}
+}

@@ -32,6 +32,11 @@
 //   - SimulateSharded / SimulateFaultsSharded: the same simulations run
 //     by a partitioned engine across shard-worker goroutines —
 //     bit-identical results, built for million-node (Q_20–Q_22) traffic.
+//   - SimulateOpenLoop + PoissonArrivals/MMPPArrivals: open-loop
+//     steady-state runs — messages arrive over time from a seeded
+//     stochastic process, a leap-step clock skips quiescent gaps, and
+//     slot recycling bounds memory by the in-flight window — for
+//     latency-vs-offered-load curves and saturation throughput.
 //
 // All metrics (load, dilation, width, congestion, packet cost) are
 // recomputed by independent verifiers on the returned Embedding values;
@@ -54,6 +59,7 @@ import (
 	"multipath/internal/netsim"
 	"multipath/internal/obsv"
 	"multipath/internal/relax"
+	"multipath/internal/traffic"
 	"multipath/internal/transport"
 	"multipath/internal/xproduct"
 )
@@ -111,6 +117,18 @@ type (
 	TraceWriter = obsv.TraceWriter
 	// DistSummary is a histogram summary: n, mean, p50/p95/p99, max.
 	DistSummary = obsv.Summary
+	// Arrival is one open-loop injection: a step and a route-template
+	// index.
+	Arrival = netsim.Arrival
+	// ArrivalTrace is a recorded arrival sequence, replayable through
+	// the open-loop simulator and its golden model.
+	ArrivalTrace = netsim.Trace
+	// OpenLoopOpts configures SimulateOpenLoop (mode, faults, warm-up
+	// cutoff, latency sink, step limit).
+	OpenLoopOpts = netsim.OpenLoopOpts
+	// OpenLoopResult reports an open-loop run: Result plus injection,
+	// in-flight, and leap accounting.
+	OpenLoopResult = netsim.OpenLoopResult
 	// CBTEmbedding is Theorem 5's complete-binary-tree result.
 	CBTEmbedding = xproduct.CBTEmbedding
 	// GridMultiPath is Corollary 1's grid embedding with phase costs.
@@ -338,6 +356,37 @@ func SimulateSharded(msgs []*Message, mode netsim.Mode, shards int) (*SimResult,
 // SimulateFaults for every shard count.
 func SimulateFaultsSharded(msgs []*Message, mode netsim.Mode, opts FaultOpts, shards int) (*FaultSimResult, error) {
 	return netsim.SimulateFaultsSharded(msgs, mode, opts, shards)
+}
+
+// SimulateOpenLoop runs the open-loop steady-state simulator: messages
+// are instances of route templates injected at the steps an ArrivalTrace
+// (or any arrival source) dictates. Per-step work is proportional to
+// live traffic only — quiescent gaps are leapt over and message slots
+// are recycled — and a trace injecting every template at step 0 is
+// bit-identical to Simulate.
+func SimulateOpenLoop(tmpls []*Message, src netsim.ArrivalSource, opts OpenLoopOpts) (*OpenLoopResult, error) {
+	return netsim.SimulateOpenLoop(tmpls, src, opts)
+}
+
+// PoissonArrivals draws a deterministic seeded Poisson arrival trace:
+// count arrivals at the given expected rate per step, each naming one
+// of ntmpl route templates uniformly.
+func PoissonArrivals(seed int64, rate float64, count, ntmpl int) (*ArrivalTrace, error) {
+	return traffic.PoissonArrivals(seed, rate, count, ntmpl)
+}
+
+// MMPPArrivals draws a bursty two-state Markov-modulated Poisson trace:
+// the process alternates between low- and high-rate phases with mean
+// dwell meanDwell steps.
+func MMPPArrivals(seed int64, lowRate, highRate, meanDwell float64, count, ntmpl int) (*ArrivalTrace, error) {
+	return traffic.MMPPArrivals(seed, lowRate, highRate, meanDwell, count, ntmpl)
+}
+
+// WidthPathMessages spreads an M-flit transfer per guest edge of a
+// multiple-path embedding across its disjoint paths — the open-loop
+// experiments use these as route templates.
+func WidthPathMessages(e *Embedding, flits int) ([]*Message, error) {
+	return traffic.WidthPathMessages(e, flits)
 }
 
 // NewRecorder returns a probe that aggregates latency and queue-depth

@@ -263,3 +263,51 @@ func TestObservabilityJourney(t *testing.T) {
 		t.Errorf("trace missing deliver events:\n%s", buf.String())
 	}
 }
+
+// The open-loop journey: templates from an embedding, a seeded Poisson
+// trace, latencies folded into a Recorder histogram, and the leap-step
+// accounting visible in the result.
+func TestOpenLoopJourney(t *testing.T) {
+	emb, err := CycleWidthEmbedding(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpls, err := WidthPathMessages(emb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := PoissonArrivals(42, 0.05, 400, len(tmpls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	res, err := SimulateOpenLoop(tmpls, trace.Source(), OpenLoopOpts{
+		Mode: CutThrough,
+		Sink: rec.MsgLatency,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected != 400 || res.DeliveredMsgs != 400 {
+		t.Fatalf("injected %d delivered %d, want 400/400", res.Injected, res.DeliveredMsgs)
+	}
+	if res.SkippedSteps == 0 {
+		t.Error("low-load Poisson run skipped no steps")
+	}
+	sum := rec.MsgLatency.Summarize()
+	if sum.N != 400 || sum.P50 < 1 || sum.P99 < sum.P50 {
+		t.Errorf("latency summary %+v", sum)
+	}
+	// Bursty traffic through the same pipeline.
+	bursty, err := MMPPArrivals(7, 0.01, 0.5, 200, 400, len(tmpls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Reset()
+	if _, err := SimulateOpenLoop(tmpls, bursty.Source(), OpenLoopOpts{Mode: CutThrough, Sink: rec.MsgLatency}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.MsgLatency.N != 400 {
+		t.Errorf("bursty run observed %d latencies, want 400", rec.MsgLatency.N)
+	}
+}
