@@ -20,8 +20,9 @@
 // BENCH_traffic.json (the E26 open-loop sweep: steady-state latency
 // percentiles versus offered load with saturation throughput, plus the
 // open-loop engine's measured speedup over the naive per-step
-// baseline), giving future changes a perf trajectory to compare
-// against.
+// baseline, and the E27 shard_sweep: whole-cube saturation curves with
+// the sharded open-loop engine's per-shard-count speedups), giving
+// future changes a perf trajectory to compare against.
 //
 // Usage:
 //
@@ -161,6 +162,7 @@ func experimentList() []experiment {
 		{"E24", "Observability: latency and queue-depth distributions via probes", runE24},
 		{"E25", "Sharded engine: partitioned simulation of million-node traffic", runE25},
 		{"E26", "Open-loop steady state: latency vs offered load, saturation throughput", runE26},
+		{"E27", "Sharded open loop: whole-cube saturation sweeps at million-node scale", runE27},
 	}
 }
 
@@ -233,7 +235,7 @@ func main() {
 	trafficPath := flag.String("traffic-json", "BENCH_traffic.json", "write the E26 open-loop latency-vs-load sweep JSON here (empty to disable)")
 	loadFlag := flag.String("load", "", "comma-separated offered loads for the E26 sweep (fractions of window capacity, e.g. 0.1,0.5,1.0)")
 	arrivalFlag := flag.String("arrival", trafficArrival, "E26 arrival process: poisson or mmpp")
-	trafficDimsFlag := flag.String("traffic-dims", "", "comma-separated host dimensions for the E26 sweep (default 12,16)")
+	trafficDimsFlag := flag.String("traffic-dims", "", "comma-separated host dimensions for the E26 and E27 open-loop sweeps (defaults 12,16 and 16,20)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run here")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) here")
 	flag.Parse()
@@ -263,6 +265,7 @@ func main() {
 		os.Exit(1)
 	} else if len(dims) > 0 {
 		trafficDims = dims
+		olDims = dims
 	}
 
 	if *cpuProfile != "" {

@@ -26,6 +26,11 @@ func init() {
 	trafficN = 1500
 	trafficReps = 1
 	trickleN = 300
+	// The E27 whole-cube sharded sweep shrinks to Q_10 with a small
+	// arrival budget; the verification and timing paths are identical.
+	olDims = []int{10}
+	olLoads = []float64{0.2, 0.9}
+	olNMax = 2000
 }
 
 // Every experiment must run cleanly and produce a non-trivial table;
@@ -475,6 +480,54 @@ func TestWriteTrafficJSON(t *testing.T) {
 		if strings.Contains(sp.Case, "trickle") && sp.Speedup <= 1 {
 			t.Errorf("%s: open-loop engine not faster than naive baseline: %.2fx (%.2fms vs %.2fms)",
 				sp.Case, sp.Speedup, sp.EngineMS, sp.NaiveMS)
+		}
+	}
+	// The E27 shard_sweep section: one whole-cube case per
+	// embedding×dimension with a Poisson and an MMPP curve, and a timed,
+	// pre-verified point per shard count.
+	if len(rep.ShardSweep) != 2*len(olDims) {
+		t.Fatalf("shard sweep has %d cases, want %d (theorem1+theorem2 per dim)", len(rep.ShardSweep), 2*len(olDims))
+	}
+	for _, c := range rep.ShardSweep {
+		if c.Capacity <= 0 || c.Templates == 0 || c.Links == 0 || c.MeanFlitHops <= 0 {
+			t.Errorf("%s Q_%d: degenerate shard-sweep case %+v", c.Embedding, c.Dims, c)
+		}
+		if len(c.Curves) != 2 || c.Curves[0].Arrival != "poisson" || c.Curves[1].Arrival != "mmpp" {
+			t.Fatalf("%s Q_%d: want a poisson and an mmpp curve, got %+v", c.Embedding, c.Dims, c.Curves)
+		}
+		for _, curve := range c.Curves {
+			if len(curve.Points) != len(olLoads) {
+				t.Fatalf("%s Q_%d %s: %d points, want %d", c.Embedding, c.Dims, curve.Arrival, len(curve.Points), len(olLoads))
+			}
+			for i, pt := range curve.Points {
+				if pt.Load != olLoads[i] {
+					t.Errorf("%s Q_%d %s point %d: load %g, want %g", c.Embedding, c.Dims, curve.Arrival, i, pt.Load, olLoads[i])
+				}
+				if pt.Delivered != pt.Arrivals {
+					t.Errorf("%s Q_%d %s load %g: delivered %d of %d", c.Embedding, c.Dims, curve.Arrival, pt.Load, pt.Delivered, pt.Arrivals)
+				}
+				s := pt.Latency
+				if s.N == 0 || !(s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+					t.Errorf("%s Q_%d %s load %g: bad latency summary %+v", c.Embedding, c.Dims, curve.Arrival, pt.Load, s)
+				}
+			}
+			if curve.SaturationLoad <= 0 {
+				t.Errorf("%s Q_%d %s: no saturation point detected", c.Embedding, c.Dims, curve.Arrival)
+			}
+		}
+		if c.ShardLoad <= 0 || c.Lambda <= 0 || c.Arrivals == 0 || c.Steps == 0 || c.BaselineMS <= 0 {
+			t.Errorf("%s Q_%d: degenerate shard-speedup block %+v", c.Embedding, c.Dims, c)
+		}
+		if len(c.Points) != len(shardCountSweep()) {
+			t.Fatalf("%s Q_%d: %d shard points, want %d", c.Embedding, c.Dims, len(c.Points), len(shardCountSweep()))
+		}
+		for i, pt := range c.Points {
+			if pt.Shards != shardCountSweep()[i] {
+				t.Errorf("%s Q_%d point %d: shards=%d, want %d", c.Embedding, c.Dims, i, pt.Shards, shardCountSweep()[i])
+			}
+			if pt.WallMS <= 0 || pt.Speedup <= 0 {
+				t.Errorf("%s Q_%d shards=%d: no timing recorded: %+v", c.Embedding, c.Dims, pt.Shards, pt)
+			}
 		}
 	}
 	checkEnv(t, rep.Env)

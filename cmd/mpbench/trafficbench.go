@@ -110,6 +110,10 @@ type trafficReport struct {
 	WallMS      float64          `json:"wall_ms"`
 	Cases       []trafficCase    `json:"cases"`
 	Speedups    []trafficSpeedup `json:"speedups"`
+	// ShardSweep is the E27 record: whole-cube saturation curves per
+	// arrival process with per-shard-count speedups of the sharded
+	// open-loop engine over the single-shard one.
+	ShardSweep []trafficShardCase `json:"shard_sweep"`
 }
 
 // trafficWindow cuts the hotspot window out of an embedding and builds
@@ -130,17 +134,17 @@ func trafficWindow(emb *core.Embedding) (*core.Embedding, []*netsim.Message, err
 }
 
 // trafficTrace draws the arrival trace for one load point under the
-// selected process. MMPP keeps the same mean rate as the Poisson
-// process (equal expected dwell in a 0.4λ and a 1.6λ phase) so the
-// load axis means the same thing for both.
-func trafficTrace(seed int64, lambda float64, count, ntmpl int) (*netsim.Trace, error) {
-	switch trafficArrival {
+// given process. MMPP keeps the same mean rate as the Poisson process
+// (equal expected dwell in a 0.4λ and a 1.6λ phase) so the load axis
+// means the same thing for both.
+func trafficTrace(process string, seed int64, lambda float64, count, ntmpl int) (*netsim.Trace, error) {
+	switch process {
 	case "poisson":
 		return traffic.PoissonArrivals(seed, lambda, count, ntmpl)
 	case "mmpp":
 		return traffic.MMPPArrivals(seed, 0.4*lambda, 1.6*lambda, 200, count, ntmpl)
 	default:
-		return nil, fmt.Errorf("unknown arrival process %q (want poisson or mmpp)", trafficArrival)
+		return nil, fmt.Errorf("unknown arrival process %q (want poisson or mmpp)", process)
 	}
 }
 
@@ -180,7 +184,7 @@ func timeOpenLoop(sim func() (*netsim.OpenLoopResult, error)) (time.Duration, *n
 // baseline on one trace, verifying bit-identity (counters and latency
 // histograms) before any timing is recorded.
 func measureTrafficSpeedup(name string, tmpls []*netsim.Message, lambda float64, count int) (*trafficSpeedup, error) {
-	tr, err := trafficTrace(trafficSeed, lambda, count, len(tmpls))
+	tr, err := trafficTrace(trafficArrival, trafficSeed, lambda, count, len(tmpls))
 	if err != nil {
 		return nil, err
 	}
@@ -286,7 +290,7 @@ var measureTrafficSweep = sync.OnceValues(func() (*trafficReport, error) {
 			}
 			for _, load := range trafficLoads {
 				lambda := load * capacity / meanWork
-				tr, err := trafficTrace(trafficSeed, lambda, trafficN, len(tmpls))
+				tr, err := trafficTrace(trafficArrival, trafficSeed, lambda, trafficN, len(tmpls))
 				if err != nil {
 					return nil, fmt.Errorf("%s n=%d load=%g: %w", ec.name, n, load, err)
 				}
@@ -405,7 +409,12 @@ func writeTrafficJSON(path string) error {
 	if err != nil {
 		return err
 	}
+	sweep, err := measureWholeCubeSweep()
+	if err != nil {
+		return err
+	}
 	out := *rep
+	out.ShardSweep = sweep
 	out.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	out.Env = currentEnv()
 	data, err := json.MarshalIndent(out, "", "  ")

@@ -15,16 +15,26 @@
 // run at a time — the step counts themselves are unchanged (attaching
 // a probe never changes results).
 //
+// With -arrival, the selected buffered strategies run *open-loop*
+// instead: their message sets become route templates, a seeded arrival
+// process (poisson, mmpp, pareto, or lognormal at -rate mean arrivals
+// per step) injects -arrivals instances over time, and the report adds
+// in-flight and leap-step accounting. -shards composes: the sharded
+// open-loop engine is bit-identical to the single-shard one, so the
+// numbers do not depend on the shard count.
+//
 // Usage:
 //
 //	routesim -n 4 -flits 64 -seed 42
 //	routesim -n 8 -flits 128 -strategy ccc
 //	routesim -n 4 -strategy valiant -obs -trace valiant.jsonl
+//	routesim -n 4 -arrival poisson -rate 0.2 -arrivals 2000 -shards 4 -obs
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 
@@ -42,12 +52,24 @@ func main() {
 	obs := flag.Bool("obs", false, "report latency and queue-depth distributions per strategy")
 	tracePath := flag.String("trace", "", "write a JSONL event trace of every run here")
 	shards := flag.Int("shards", 1, "shard workers per buffered simulation (>1 uses the partitioned engine; results are identical)")
+	arrival := flag.String("arrival", "", "open-loop arrival process: poisson | mmpp | pareto | lognormal (empty: closed-loop)")
+	rate := flag.Float64("rate", 0.1, "open-loop mean arrival rate (arrivals per step)")
+	arrivals := flag.Int("arrivals", 2000, "open-loop arrival count")
 	flag.Parse()
 
-	if err := run(*n, *flits, *seed, *strategy, *obs, *tracePath, *shards); err != nil {
+	ol := openLoopCfg{process: *arrival, rate: *rate, arrivals: *arrivals}
+	if err := run(*n, *flits, *seed, *strategy, *obs, *tracePath, *shards, ol); err != nil {
 		fmt.Fprintln(os.Stderr, "routesim:", err)
 		os.Exit(1)
 	}
+}
+
+// openLoopCfg selects and parameterizes the open-loop arrival process;
+// an empty process name keeps the classical closed-loop runs.
+type openLoopCfg struct {
+	process  string
+	rate     float64
+	arrivals int
 }
 
 // strategyEntry is one selected strategy's prepared workload.
@@ -58,7 +80,7 @@ type strategyEntry struct {
 	mode     netsim.Mode
 }
 
-func run(n, flits int, seed int64, strategy string, obs bool, tracePath string, shards int) error {
+func run(n, flits int, seed int64, strategy string, obs bool, tracePath string, shards int, ol openLoopCfg) error {
 	if shards < 0 {
 		return fmt.Errorf("-shards must be nonnegative, got %d", shards)
 	}
@@ -100,6 +122,10 @@ func run(n, flits int, seed int64, strategy string, obs bool, tracePath string, 
 			return fmt.Errorf("ccc: %w", err)
 		}
 		entries = append(entries, strategyEntry{name: "ccc", msgs: msgs, mode: netsim.CutThrough})
+	}
+
+	if ol.process != "" {
+		return runOpenLoop(entries, ol, seed, obs, tracePath, shards)
 	}
 
 	if obs || tracePath != "" {
@@ -181,6 +207,94 @@ func runObserved(entries []strategyEntry, obs bool, tracePath string, shards int
 			fl, ml, qd := rec.FlitLatency.Summarize(), rec.MsgLatency.Summarize(), rec.QueueDepth.Summarize()
 			fmt.Printf("          flit-lat p50/p95/p99=%d/%d/%d  msg-lat p50/p95/p99=%d/%d/%d  queue p95/max=%d/%d  busy=%.3f\n",
 				fl.P50, fl.P95, fl.P99, ml.P50, ml.P95, ml.P99, qd.P95, qd.Max, meanOf(rec.BusyFraction.Samples()))
+		}
+	}
+	if tw != nil {
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", tracePath)
+	}
+	return nil
+}
+
+// arrivalTrace draws the configured arrival process, parameterized so
+// each has (where it exists) a mean rate of ol.rate arrivals per step:
+// the Pareto scale is (α−1)/(α·rate) at tail exponent α = 1.2, and the
+// log-normal location is −ln(rate) − σ²/2 at spread σ = 1.5. The trace
+// is materialized so every shard count can replay it identically.
+func arrivalTrace(ol openLoopCfg, seed int64, ntmpl int) (*netsim.Trace, error) {
+	switch ol.process {
+	case "poisson":
+		return traffic.PoissonArrivals(seed, ol.rate, ol.arrivals, ntmpl)
+	case "mmpp":
+		return traffic.MMPPArrivals(seed, ol.rate/4, ol.rate*4, 200, ol.arrivals, ntmpl)
+	case "pareto":
+		const alpha = 1.2
+		if ol.rate <= 0 {
+			return nil, fmt.Errorf("-rate must be positive, got %v", ol.rate)
+		}
+		return traffic.ParetoArrivals(seed, alpha, (alpha-1)/(alpha*ol.rate), ol.arrivals, ntmpl)
+	case "lognormal":
+		const sigma = 1.5
+		if ol.rate <= 0 {
+			return nil, fmt.Errorf("-rate must be positive, got %v", ol.rate)
+		}
+		return traffic.LogNormalArrivals(seed, -math.Log(ol.rate)-sigma*sigma/2, sigma, ol.arrivals, ntmpl)
+	default:
+		return nil, fmt.Errorf("unknown arrival process %q (want poisson, mmpp, pareto, or lognormal)", ol.process)
+	}
+}
+
+// runOpenLoop runs each selected buffered strategy open-loop: its
+// message set becomes the template pool and the configured arrival
+// process injects instances over time through the sharded engine
+// (shards ≤ 1 is exactly the single-shard engine, and every shard
+// count is bit-identical). Wormhole switching has no open-loop model
+// and is skipped with a note.
+func runOpenLoop(entries []strategyEntry, ol openLoopCfg, seed int64, obs bool, tracePath string, shards int) error {
+	var tw *obsv.TraceWriter
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tw = obsv.NewTraceWriter(f)
+	}
+	for _, e := range entries {
+		if e.wormhole {
+			fmt.Printf("%-9s skipped: wormhole switching has no open-loop model\n", e.name)
+			continue
+		}
+		tr, err := arrivalTrace(ol, seed, len(e.msgs))
+		if err != nil {
+			return err
+		}
+		// Two recorders: lat's MsgLatency histogram is the per-message
+		// latency sink; rec aggregates probe events (queue depths).
+		// They stay separate because Recorder.MsgDone folds completion
+		// *steps* into its own MsgLatency, which in open-loop time is
+		// not a latency.
+		lat, rec := obsv.NewRecorder(), obsv.NewRecorder()
+		opts := netsim.OpenLoopOpts{Mode: e.mode, Sink: lat.MsgLatency}
+		if obs && tw != nil {
+			opts.Probe = obsv.Multi(rec, tw)
+		} else if obs {
+			opts.Probe = rec
+		} else if tw != nil {
+			opts.Probe = tw
+		}
+		res, err := netsim.SimulateOpenLoopSharded(e.msgs, tr.Source(), opts, shards)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Printf("%-9s steps=%-8d delivered=%-6d skipped=%-8d inflight-max=%-5d flit-hops=%d\n",
+			e.name, res.Steps, res.DeliveredMsgs, res.SkippedSteps, res.MaxInFlight, res.FlitsMoved)
+		if obs {
+			ml, qd := lat.MsgLatency.Summarize(), rec.QueueDepth.Summarize()
+			fmt.Printf("          msg-lat p50/p95/p99=%d/%d/%d  queue p95/max=%d/%d\n",
+				ml.P50, ml.P95, ml.P99, qd.P95, qd.Max)
 		}
 	}
 	if tw != nil {

@@ -9,20 +9,20 @@ import (
 )
 
 func TestRunAllStrategies(t *testing.T) {
-	if err := run(4, 16, 42, "all", false, "", 1); err != nil {
+	if err := run(4, 16, 42, "all", false, "", 1, openLoopCfg{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAllStrategiesSharded(t *testing.T) {
-	if err := run(4, 16, 42, "all", false, "", 4); err != nil {
+	if err := run(4, 16, 42, "all", false, "", 4, openLoopCfg{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSingleStrategy(t *testing.T) {
 	for _, s := range []string{"ecube-sf", "ecube-ct", "ecube-wh", "valiant", "ccc"} {
-		if err := run(4, 8, 1, s, false, "", 1); err != nil {
+		if err := run(4, 8, 1, s, false, "", 1, openLoopCfg{}); err != nil {
 			t.Errorf("%s: %v", s, err)
 		}
 	}
@@ -30,7 +30,7 @@ func TestRunSingleStrategy(t *testing.T) {
 
 func TestRunObservedWithTrace(t *testing.T) {
 	trace := filepath.Join(t.TempDir(), "trace.jsonl")
-	if err := run(4, 8, 7, "all", true, trace, 1); err != nil {
+	if err := run(4, 8, 7, "all", true, trace, 1, openLoopCfg{}); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(trace)
@@ -71,14 +71,45 @@ func TestRunObservedWithTrace(t *testing.T) {
 	}
 }
 
+func TestRunOpenLoopProcesses(t *testing.T) {
+	for _, p := range []string{"poisson", "mmpp", "pareto", "lognormal"} {
+		ol := openLoopCfg{process: p, rate: 0.2, arrivals: 200}
+		if err := run(4, 8, 3, "ecube-ct", false, "", 1, ol); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+}
+
+func TestRunOpenLoopShardedObserved(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "ol.jsonl")
+	ol := openLoopCfg{process: "poisson", rate: 0.2, arrivals: 200}
+	if err := run(4, 8, 3, "all", true, trace, 4, ol); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(trace); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace not written: %v", err)
+	}
+}
+
+func TestRunOpenLoopRejectsBadProcess(t *testing.T) {
+	ol := openLoopCfg{process: "uniform", rate: 0.2, arrivals: 10}
+	if err := run(4, 8, 3, "ecube-ct", false, "", 1, ol); err == nil {
+		t.Error("unknown arrival process accepted")
+	}
+	ol = openLoopCfg{process: "poisson", rate: -1, arrivals: 10}
+	if err := run(4, 8, 3, "ecube-ct", false, "", 1, ol); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
 func TestRunRejectsBadN(t *testing.T) {
-	if err := run(3, 8, 1, "all", false, "", 1); err == nil {
+	if err := run(3, 8, 1, "all", false, "", 1, openLoopCfg{}); err == nil {
 		t.Error("non-power-of-two accepted")
 	}
 }
 
 func TestRunRejectsNegativeShards(t *testing.T) {
-	if err := run(4, 8, 1, "all", false, "", -1); err == nil {
+	if err := run(4, 8, 1, "all", false, "", -1, openLoopCfg{}); err == nil {
 		t.Error("negative -shards accepted")
 	}
 }

@@ -149,6 +149,21 @@ type OpenLoopOpts struct {
 	Probe Probe
 }
 
+// validate rejects option values that would otherwise silently
+// misbehave: a negative MeasureAfter admits every message into the
+// steady-state window, and a negative StepLimit disables the livelock
+// bound without enabling the graceful timeout. Every open-loop entry
+// point (engine, reference, sharded) runs this first.
+func (o *OpenLoopOpts) validate() error {
+	if o.StepLimit < 0 {
+		return fmt.Errorf("netsim: OpenLoopOpts.StepLimit is negative (%d)", o.StepLimit)
+	}
+	if o.MeasureAfter < 0 {
+		return fmt.Errorf("netsim: OpenLoopOpts.MeasureAfter is negative (%d)", o.MeasureAfter)
+	}
+	return nil
+}
+
 // OpenLoopResult is the aggregate outcome of an open-loop run. The
 // conservation invariant generalizes over the *injected* prefix:
 //
@@ -191,6 +206,9 @@ func SimulateOpenLoop(tmpls []*Message, src ArrivalSource, opts OpenLoopOpts) (*
 // SimulateOpenLoop is the Engine-level open-loop path; see the
 // package-level SimulateOpenLoop.
 func (e *Engine) SimulateOpenLoop(tmpls []*Message, src ArrivalSource, opts OpenLoopOpts) (*OpenLoopResult, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	shape, err := e.numberAll(tmpls)
 	if err != nil {
 		return nil, err
@@ -219,29 +237,7 @@ func (e *Engine) SimulateOpenLoop(tmpls []*Message, src ArrivalSource, opts Open
 		e.probe.BeginRun(RunInfo{Messages: -1, Links: int(links), LinkExt: e.ext[:links], Mode: opts.Mode})
 	}
 
-	// Reset the slot arena: truncate (capacity survives across runs)
-	// and empty the per-template free lists.
-	e.olSlotTmpl = e.olSlotTmpl[:0]
-	e.olSlotOff = e.olSlotOff[:0]
-	e.olSlotMsg = e.olSlotMsg[:0]
-	e.olSlotArr = e.olSlotArr[:0]
-	e.olSlotFl = e.olSlotFl[:0]
-	e.olSlotDead = e.olSlotDead[:0]
-	e.olKilled = e.olKilled[:0]
-	e.olRoute = e.olRoute[:0]
-	e.olPosSlot = e.olPosSlot[:0]
-	e.olArrived = e.olArrived[:0]
-	e.olCrossed = e.olCrossed[:0]
-	e.olBuffer = e.olBuffer[:0]
-	e.olQueued = e.olQueued[:0]
-	e.olQNext = e.olQNext[:0]
-	if cap(e.olFree) < len(tmpls) {
-		e.olFree = append(e.olFree[:cap(e.olFree)], make([][]int32, len(tmpls)-cap(e.olFree))...)
-	}
-	e.olFree = e.olFree[:len(tmpls)]
-	for i := range e.olFree {
-		e.olFree[i] = e.olFree[i][:0]
-	}
+	e.olReset(len(tmpls))
 
 	olr := &OpenLoopResult{}
 	e.res = &olr.Result
@@ -316,10 +312,12 @@ func (e *Engine) SimulateOpenLoop(tmpls []*Message, src ArrivalSource, opts Open
 	}
 
 	// advance reads the next arrival, enforcing nondecreasing steps.
+	// advance always runs right after injecting the previous arrival,
+	// so nextMsg is the offending arrival's index.
 	advance := func() (Arrival, bool, error) {
 		n, ok := src.Next()
 		if ok && n.Step < pending.Step {
-			return n, ok, fmt.Errorf("netsim: arrival steps must be nondecreasing (step %d after %d)", n.Step, pending.Step)
+			return n, ok, fmt.Errorf("netsim: arrival %d: steps must be nondecreasing (step %d after %d)", nextMsg, n.Step, pending.Step)
 		}
 		return n, ok, nil
 	}
@@ -582,6 +580,33 @@ func (e *Engine) SimulateOpenLoop(tmpls []*Message, src ArrivalSource, opts Open
 		olr.Steps = step
 	}
 	return olr, nil
+}
+
+// olReset resets the slot arena for a run over ntmpl templates:
+// truncate (capacity survives across runs) and empty the per-template
+// free lists. Shared by the single-shard and sharded open-loop paths.
+func (e *Engine) olReset(ntmpl int) {
+	e.olSlotTmpl = e.olSlotTmpl[:0]
+	e.olSlotOff = e.olSlotOff[:0]
+	e.olSlotMsg = e.olSlotMsg[:0]
+	e.olSlotArr = e.olSlotArr[:0]
+	e.olSlotFl = e.olSlotFl[:0]
+	e.olSlotDead = e.olSlotDead[:0]
+	e.olKilled = e.olKilled[:0]
+	e.olRoute = e.olRoute[:0]
+	e.olPosSlot = e.olPosSlot[:0]
+	e.olArrived = e.olArrived[:0]
+	e.olCrossed = e.olCrossed[:0]
+	e.olBuffer = e.olBuffer[:0]
+	e.olQueued = e.olQueued[:0]
+	e.olQNext = e.olQNext[:0]
+	if cap(e.olFree) < ntmpl {
+		e.olFree = append(e.olFree[:cap(e.olFree)], make([][]int32, ntmpl-cap(e.olFree))...)
+	}
+	e.olFree = e.olFree[:ntmpl]
+	for i := range e.olFree {
+		e.olFree[i] = e.olFree[i][:0]
+	}
 }
 
 // olSpan returns slot s's position range [base, end) in the arena.

@@ -22,6 +22,9 @@ import (
 // benchmark reports the engine's speedup over it. OpenLoopOpts.Probe
 // is ignored here; everything else is honored.
 func SimulateOpenLoopReference(tmpls []*Message, src ArrivalSource, opts OpenLoopOpts) (*OpenLoopResult, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	maxRoute := 0
 	for i, m := range tmpls {
 		if m.Flits < 1 {
@@ -68,7 +71,7 @@ func SimulateOpenLoopReference(tmpls []*Message, src ArrivalSource, opts OpenLoo
 	advance := func() (Arrival, bool, error) {
 		n, ok := src.Next()
 		if ok && n.Step < pending.Step {
-			return n, ok, fmt.Errorf("netsim: arrival steps must be nondecreasing (step %d after %d)", n.Step, pending.Step)
+			return n, ok, fmt.Errorf("netsim: arrival %d: steps must be nondecreasing (step %d after %d)", len(msgs), n.Step, pending.Step)
 		}
 		return n, ok, nil
 	}

@@ -446,6 +446,16 @@ func TestOpenLoopErrors(t *testing.T) {
 			tr:    &Trace{Arrivals: []Arrival{{0, 0}}},
 			opts:  OpenLoopOpts{Faults: unboundedFaults{}},
 		},
+		"negative StepLimit": {
+			tmpls: good,
+			tr:    &Trace{Arrivals: []Arrival{{0, 0}}},
+			opts:  OpenLoopOpts{StepLimit: -1},
+		},
+		"negative MeasureAfter": {
+			tmpls: good,
+			tr:    &Trace{Arrivals: []Arrival{{0, 0}}},
+			opts:  OpenLoopOpts{MeasureAfter: -10},
+		},
 	}
 	for name, c := range cases {
 		if _, err := SimulateOpenLoop(c.tmpls, c.tr.Source(), c.opts); err == nil {

@@ -106,6 +106,12 @@ type shardState struct {
 	pbMove []uint64
 	pbArrv []uint64
 
+	// doneSlots buffers the open-loop slots whose message completed on
+	// this shard's links this step; the step-end barrier folds them in
+	// message-id order (the canonical merge order for LatencySink and
+	// PerMessage) and recycles them. Unused by the closed-loop paths.
+	doneSlots []int32
+
 	moved         int
 	maxQ          int
 	deliveredStep int // folded into the run totals at the step barrier

@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"multipath/internal/netsim"
@@ -38,6 +39,68 @@ func PoissonArrivals(seed int64, rate float64, count, ntmpl int) (*netsim.Trace,
 	t := 0.0
 	for i := 0; i < count; i++ {
 		t += rng.ExpFloat64() / rate
+		tr.Arrivals = append(tr.Arrivals, netsim.Arrival{Step: int(t), Tmpl: int32(rng.Intn(ntmpl))})
+	}
+	return tr, nil
+}
+
+// ParetoArrivals draws count arrivals with Pareto-distributed
+// inter-arrival gaps: gap = scale / U^(1/alpha) with U uniform on
+// (0, 1], so every gap is at least scale and the tail decays as a
+// power law with exponent alpha. Small alpha (≤ 2, and especially
+// ≤ 1, where the mean gap is infinite) yields the self-similar
+// traffic of measured networks — dense clusters of arrivals separated
+// by occasional enormous quiet stretches that the open-loop engine
+// leaps over. Gaps are floored onto the integer step grid; the same
+// seed always yields the same trace.
+func ParetoArrivals(seed int64, alpha, scale float64, count, ntmpl int) (*netsim.Trace, error) {
+	if alpha <= 0 {
+		return nil, fmt.Errorf("traffic: Pareto alpha must be positive, got %v", alpha)
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("traffic: Pareto scale must be positive, got %v", scale)
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("traffic: arrival count must be nonnegative, got %d", count)
+	}
+	if count > 0 && ntmpl < 1 {
+		return nil, fmt.Errorf("traffic: need at least one template, got %d", ntmpl)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tr := &netsim.Trace{Arrivals: make([]netsim.Arrival, 0, count)}
+	t := 0.0
+	for i := 0; i < count; i++ {
+		// 1-Float64 is uniform on (0, 1]: it never hits zero, so the
+		// inverse-CDF transform below cannot divide by zero.
+		u := 1 - rng.Float64()
+		t += scale / math.Pow(u, 1/alpha)
+		tr.Arrivals = append(tr.Arrivals, netsim.Arrival{Step: int(t), Tmpl: int32(rng.Intn(ntmpl))})
+	}
+	return tr, nil
+}
+
+// LogNormalArrivals draws count arrivals with log-normally distributed
+// inter-arrival gaps: gap = exp(mu + sigma·Z) with Z standard normal.
+// The median gap is exp(mu); sigma controls the spread — sigma 0
+// degenerates to a deterministic clock, while large sigma produces a
+// heavy (subexponential) right tail of long quiet periods alongside
+// bursts of near-simultaneous arrivals. Gaps are floored onto the
+// integer step grid; the same seed always yields the same trace.
+func LogNormalArrivals(seed int64, mu, sigma float64, count, ntmpl int) (*netsim.Trace, error) {
+	if sigma < 0 {
+		return nil, fmt.Errorf("traffic: log-normal sigma must be nonnegative, got %v", sigma)
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("traffic: arrival count must be nonnegative, got %d", count)
+	}
+	if count > 0 && ntmpl < 1 {
+		return nil, fmt.Errorf("traffic: need at least one template, got %d", ntmpl)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tr := &netsim.Trace{Arrivals: make([]netsim.Arrival, 0, count)}
+	t := 0.0
+	for i := 0; i < count; i++ {
+		t += math.Exp(mu + sigma*rng.NormFloat64())
 		tr.Arrivals = append(tr.Arrivals, netsim.Arrival{Step: int(t), Tmpl: int32(rng.Intn(ntmpl))})
 	}
 	return tr, nil

@@ -113,6 +113,119 @@ func TestMMPPArrivals(t *testing.T) {
 	}
 }
 
+func TestParetoArrivals(t *testing.T) {
+	const alpha, scale, count = 1.2, 1.0, 20000
+	a, err := ParetoArrivals(13, alpha, scale, count, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParetoArrivals(13, alpha, scale, count, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	c, err := ParetoArrivals(14, alpha, scale, count, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+	if len(a.Arrivals) != count {
+		t.Fatalf("got %d arrivals, want %d", len(a.Arrivals), count)
+	}
+	prev := 0
+	for i, ar := range a.Arrivals {
+		if ar.Step < prev {
+			t.Fatalf("arrival %d: step %d after %d", i, ar.Step, prev)
+		}
+		prev = ar.Step
+		if ar.Tmpl < 0 || ar.Tmpl >= 5 {
+			t.Fatalf("arrival %d: template %d out of range", i, ar.Tmpl)
+		}
+	}
+	// Heavy tail: with alpha 1.2 the mean gap is scale·alpha/(alpha-1)
+	// = 6, but the largest single gap dwarfs it — a power-law tail over
+	// 20000 draws reliably produces a gap hundreds of times the mean,
+	// which an exponential distribution essentially never does (the
+	// largest of n exponential draws concentrates near mean·ln n ≈ 10
+	// means).
+	maxGap, sum := 0, 0
+	for i := 1; i < count; i++ {
+		g := a.Arrivals[i].Step - a.Arrivals[i-1].Step
+		sum += g
+		if g > maxGap {
+			maxGap = g
+		}
+	}
+	meanGap := float64(sum) / float64(count-1)
+	if float64(maxGap) < 50*meanGap {
+		t.Fatalf("tail too light: max gap %d vs mean %v", maxGap, meanGap)
+	}
+	// And every continuous gap is at least scale, so after flooring no
+	// step can host more than a couple of arrivals.
+	if meanGap < scale {
+		t.Fatalf("mean gap %v below the scale floor %v", meanGap, scale)
+	}
+}
+
+func TestLogNormalArrivals(t *testing.T) {
+	const mu, sigma, count = 1.0, 2.0, 20000
+	a, err := LogNormalArrivals(17, mu, sigma, count, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LogNormalArrivals(17, mu, sigma, count, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	if len(a.Arrivals) != count {
+		t.Fatalf("got %d arrivals, want %d", len(a.Arrivals), count)
+	}
+	prev := 0
+	for i, ar := range a.Arrivals {
+		if ar.Step < prev {
+			t.Fatalf("arrival %d: step %d after %d", i, ar.Step, prev)
+		}
+		prev = ar.Step
+		if ar.Tmpl < 0 || ar.Tmpl >= 4 {
+			t.Fatalf("arrival %d: template %d out of range", i, ar.Tmpl)
+		}
+	}
+	// With sigma 2 the distribution is strongly right-skewed: the mean
+	// gap exp(mu+sigma²/2) ≈ 20 sits far above the median exp(mu) ≈ e,
+	// so well over half the gaps land below the empirical mean.
+	sum := 0
+	for i := 1; i < count; i++ {
+		sum += a.Arrivals[i].Step - a.Arrivals[i-1].Step
+	}
+	meanGap := float64(sum) / float64(count-1)
+	below := 0
+	for i := 1; i < count; i++ {
+		if float64(a.Arrivals[i].Step-a.Arrivals[i-1].Step) < meanGap {
+			below++
+		}
+	}
+	if frac := float64(below) / float64(count-1); frac < 0.65 {
+		t.Fatalf("not right-skewed: only %v of gaps below the mean", frac)
+	}
+	// sigma 0 degenerates to a deterministic clock with gap exp(mu).
+	det, err := LogNormalArrivals(17, 2.0, 0, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 100; i++ {
+		if g := det.Arrivals[i].Step - det.Arrivals[i-1].Step; g < 7 || g > 8 {
+			t.Fatalf("sigma 0: gap %d, want the deterministic exp(2) ≈ 7.39 floored", g)
+		}
+	}
+}
+
 func TestArrivalErrors(t *testing.T) {
 	if _, err := PoissonArrivals(1, 0, 10, 2); err == nil {
 		t.Error("zero rate accepted")
@@ -128,6 +241,27 @@ func TestArrivalErrors(t *testing.T) {
 	}
 	if tr, err := PoissonArrivals(1, 0.5, 0, 0); err != nil || len(tr.Arrivals) != 0 {
 		t.Errorf("empty request should succeed: %v, %v", tr, err)
+	}
+	if _, err := ParetoArrivals(1, 0, 1, 10, 2); err == nil {
+		t.Error("zero alpha accepted")
+	}
+	if _, err := ParetoArrivals(1, 1.5, 0, 10, 2); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := ParetoArrivals(1, 1.5, 1, -1, 2); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := ParetoArrivals(1, 1.5, 1, 10, 0); err == nil {
+		t.Error("zero templates accepted with positive count")
+	}
+	if _, err := LogNormalArrivals(1, 0, -0.1, 10, 2); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	if _, err := LogNormalArrivals(1, 0, 1, -1, 2); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := LogNormalArrivals(1, 0, 1, 10, 0); err == nil {
+		t.Error("zero templates accepted with positive count")
 	}
 	if _, err := MMPPArrivals(1, 0, 1, 10, 10, 2); err == nil {
 		t.Error("zero low rate accepted")

@@ -32,11 +32,15 @@
 //   - SimulateSharded / SimulateFaultsSharded: the same simulations run
 //     by a partitioned engine across shard-worker goroutines —
 //     bit-identical results, built for million-node (Q_20–Q_22) traffic.
-//   - SimulateOpenLoop + PoissonArrivals/MMPPArrivals: open-loop
+//   - SimulateOpenLoop + PoissonArrivals/MMPPArrivals (and the
+//     heavy-tailed ParetoArrivals/LogNormalArrivals): open-loop
 //     steady-state runs — messages arrive over time from a seeded
 //     stochastic process, a leap-step clock skips quiescent gaps, and
 //     slot recycling bounds memory by the in-flight window — for
 //     latency-vs-offered-load curves and saturation throughput.
+//   - SimulateOpenLoopSharded: the open-loop simulator on the
+//     partitioned engine — whole-cube saturation sweeps at
+//     million-node scale, bit-identical to SimulateOpenLoop.
 //
 // All metrics (load, dilation, width, congestion, packet cost) are
 // recomputed by independent verifiers on the returned Embedding values;
@@ -368,6 +372,17 @@ func SimulateOpenLoop(tmpls []*Message, src netsim.ArrivalSource, opts OpenLoopO
 	return netsim.SimulateOpenLoop(tmpls, src, opts)
 }
 
+// SimulateOpenLoopSharded runs the open-loop simulator partitioned
+// across the given number of shard-worker goroutines. Arrivals are
+// dispatched to the shard owning their first link, the leap-step clock
+// generalizes to global quiescence (the clock leaps only when no shard
+// holds an in-flight flit), and results, latency sinks, and probe
+// streams are bit-identical to SimulateOpenLoop for every shard count;
+// shards ≤ 1 is exactly the single-shard engine.
+func SimulateOpenLoopSharded(tmpls []*Message, src netsim.ArrivalSource, opts OpenLoopOpts, shards int) (*OpenLoopResult, error) {
+	return netsim.SimulateOpenLoopSharded(tmpls, src, opts, shards)
+}
+
 // PoissonArrivals draws a deterministic seeded Poisson arrival trace:
 // count arrivals at the given expected rate per step, each naming one
 // of ntmpl route templates uniformly.
@@ -380,6 +395,21 @@ func PoissonArrivals(seed int64, rate float64, count, ntmpl int) (*ArrivalTrace,
 // dwell meanDwell steps.
 func MMPPArrivals(seed int64, lowRate, highRate, meanDwell float64, count, ntmpl int) (*ArrivalTrace, error) {
 	return traffic.MMPPArrivals(seed, lowRate, highRate, meanDwell, count, ntmpl)
+}
+
+// ParetoArrivals draws a heavy-tailed arrival trace with Pareto
+// inter-arrival gaps (minimum scale, power-law tail exponent alpha):
+// the self-similar traffic of measured networks — dense arrival
+// clusters separated by occasional enormous quiet stretches.
+func ParetoArrivals(seed int64, alpha, scale float64, count, ntmpl int) (*ArrivalTrace, error) {
+	return traffic.ParetoArrivals(seed, alpha, scale, count, ntmpl)
+}
+
+// LogNormalArrivals draws an arrival trace with log-normally
+// distributed inter-arrival gaps (median exp(mu), spread sigma); large
+// sigma gives a heavy right tail of quiet periods alongside bursts.
+func LogNormalArrivals(seed int64, mu, sigma float64, count, ntmpl int) (*ArrivalTrace, error) {
+	return traffic.LogNormalArrivals(seed, mu, sigma, count, ntmpl)
 }
 
 // WidthPathMessages spreads an M-flit transfer per guest edge of a

@@ -311,3 +311,54 @@ func TestOpenLoopJourney(t *testing.T) {
 		t.Errorf("bursty run observed %d latencies, want 400", rec.MsgLatency.N)
 	}
 }
+
+// The sharded open-loop journey: the same pipeline through the
+// partitioned engine, with heavy-tailed arrival processes, must be
+// bit-identical to the single-shard run.
+func TestOpenLoopShardedJourney(t *testing.T) {
+	emb, err := CycleWidthEmbedding(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpls, err := WidthPathMessages(emb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pareto, err := ParetoArrivals(9, 1.1, 0.5, 400, len(tmpls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lognorm, err := LogNormalArrivals(9, 0.5, 1.5, 400, len(tmpls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, trace := range map[string]*ArrivalTrace{"pareto": pareto, "lognormal": lognorm} {
+		single := NewRecorder()
+		want, err := SimulateOpenLoop(tmpls, trace.Source(), OpenLoopOpts{
+			Mode: CutThrough, Sink: single.MsgLatency,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.DeliveredMsgs != 400 {
+			t.Fatalf("%s: delivered %d, want 400", name, want.DeliveredMsgs)
+		}
+		if want.SkippedSteps == 0 {
+			t.Errorf("%s: heavy-tailed trace skipped no steps", name)
+		}
+		sharded := NewRecorder()
+		got, err := SimulateOpenLoopSharded(tmpls, trace.Source(), OpenLoopOpts{
+			Mode: CutThrough, Sink: sharded.MsgLatency,
+		}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: sharded %+v != single-shard %+v", name, got, want)
+		}
+		gs, ws := sharded.MsgLatency.Summarize(), single.MsgLatency.Summarize()
+		if !reflect.DeepEqual(gs, ws) {
+			t.Fatalf("%s: latency summary %+v != %+v", name, gs, ws)
+		}
+	}
+}
