@@ -67,6 +67,7 @@ fuzz-short:
 	$(GO) test -run=^$$ -fuzz=FuzzDisperseReconstruct -fuzztime=$(FUZZTIME) ./internal/ida
 	$(GO) test -run=^$$ -fuzz=FuzzGFInverse -fuzztime=$(FUZZTIME) ./internal/ida
 	$(GO) test -run=^$$ -fuzz=FuzzArenaRoundTrip -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run=^$$ -fuzz=FuzzSelfHealOpenLoop -fuzztime=$(FUZZTIME) ./internal/selfheal
 
 # Regenerate the paper-vs-measured tables (EXPERIMENTS.md content).
 experiments:

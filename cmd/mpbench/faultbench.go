@@ -30,6 +30,11 @@ type faultPoint struct {
 	MeanRounds      float64 `json:"mean_rounds"`
 	PiecesSent      int     `json:"pieces_sent"`
 	PiecesDelivered int     `json:"pieces_delivered"`
+	// Retries/Reroutes/DeadlineMisses sum transport.Report's healing
+	// accounting over the seeds (the deadline is faultDeadline steps).
+	Retries        int `json:"retries"`
+	Reroutes       int `json:"reroutes"`
+	DeadlineMisses int `json:"deadline_misses"`
 }
 
 type faultSeries struct {
@@ -49,6 +54,10 @@ type faultReport struct {
 	Seeds       int           `json:"seeds"`
 	WallMS      float64       `json:"wall_ms"`
 	Series      []faultSeries `json:"series"`
+	// SelfHeal is the E28 open-loop self-healing sweep, run over the
+	// same embedding and coupled fault draws as the closed-loop series
+	// above so the degradation curves are comparable point by point.
+	SelfHeal *selfHealReport `json:"self_heal"`
 }
 
 // Sweep parameters. Probabilities are per directed link; seeds are
@@ -61,6 +70,10 @@ var (
 	faultSeeds   = 5
 	faultFlits   = 8
 	faultRetries = 1
+	// faultDeadline only classifies outcomes (transport.Config.Deadline
+	// does not change routing), so adding it leaves every pre-existing
+	// series value bit-identical.
+	faultDeadline = 64
 )
 
 func faultEmbeddings() ([]string, []*core.Embedding, error) {
@@ -118,6 +131,7 @@ var measureFaultSweep = sync.OnceValues(func() (*faultReport, error) {
 						Flits:      faultFlits,
 						K:          k,
 						MaxRetries: faultRetries,
+						Deadline:   faultDeadline,
 						Faults:     sched,
 					})
 					if err != nil {
@@ -132,6 +146,9 @@ var measureFaultSweep = sync.OnceValues(func() (*faultReport, error) {
 					roundSum += float64(r.Rounds)
 					pt.PiecesSent += r.PiecesSent
 					pt.PiecesDelivered += r.PiecesDelivered
+					pt.Retries += r.Retries
+					pt.Reroutes += r.Reroutes
+					pt.DeadlineMisses += r.DeadlineMisses
 				}
 				pt.DeliveredFraction = fracSum / float64(faultSeeds)
 				if latEdges > 0 {
@@ -185,7 +202,12 @@ func writeFaultsJSON(path string) error {
 	if err != nil {
 		return err
 	}
+	heal, err := measureSelfHealSweep()
+	if err != nil {
+		return err
+	}
 	out := *rep
+	out.SelfHeal = heal
 	out.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	out.Env = currentEnv()
 	data, err := json.MarshalIndent(&out, "", "  ")

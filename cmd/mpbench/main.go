@@ -163,6 +163,7 @@ func experimentList() []experiment {
 		{"E25", "Sharded engine: partitioned simulation of million-node traffic", runE25},
 		{"E26", "Open-loop steady state: latency vs offered load, saturation throughput", runE26},
 		{"E27", "Sharded open loop: whole-cube saturation sweeps at million-node scale", runE27},
+		{"E28", "Self-healing transport: degradation curves under live faults", runE28},
 	}
 }
 

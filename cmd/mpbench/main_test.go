@@ -284,8 +284,71 @@ func TestWriteFaultsJSON(t *testing.T) {
 					single.Points[i].DeliveredFraction)
 			}
 		}
+		for _, s := range []faultSeries{single, ida} {
+			for _, pt := range s.Points {
+				if pt.Reroutes > pt.Retries {
+					t.Errorf("%s/%s p=%g: reroutes %d exceed retries %d",
+						name, s.Strategy, pt.P, pt.Reroutes, pt.Retries)
+				}
+				if pt.P == 0 && (pt.Retries != 0 || pt.DeadlineMisses != 0) {
+					t.Errorf("%s/%s: clean fabric reports healing work: %+v", name, s.Strategy, pt)
+				}
+			}
+		}
 	}
 	checkEnv(t, rep.Env)
+
+	// The E28 self-healing section: one series per schedule × backoff,
+	// a point per (p, rate), delivered fraction at or above the
+	// single-path closed-loop baseline at every fault rate, and the
+	// pre-measurement bit-identity verification on record.
+	heal := rep.SelfHeal
+	if heal == nil {
+		t.Fatal("no self_heal section in the faults report")
+	}
+	if heal.VerifiedShards < 2 {
+		t.Fatalf("bit-identity verified at %d shards, want >= 2", heal.VerifiedShards)
+	}
+	if len(heal.Series) != 4 {
+		t.Fatalf("self-heal has %d series, want 4 (2 schedules x 2 backoffs)", len(heal.Series))
+	}
+	baseline := byKey[heal.Embedding+"/single-path"]
+	if baseline.Strategy == "" {
+		t.Fatalf("no closed-loop baseline series for %q", heal.Embedding)
+	}
+	baseByP := map[float64]float64{}
+	for _, pt := range baseline.Points {
+		baseByP[pt.P] = pt.DeliveredFraction
+	}
+	wantPoints := len(faultProbs) * len(heal.Rates)
+	for _, s := range heal.Series {
+		if len(s.Points) != wantPoints {
+			t.Fatalf("self-heal %s/%s: %d points, want %d", s.Schedule, s.Backoff, len(s.Points), wantPoints)
+		}
+		for _, pt := range s.Points {
+			if pt.DeliveredFraction < baseByP[pt.P] {
+				t.Errorf("self-heal %s/%s p=%g rate=%d: delivered %g below single-path baseline %g",
+					s.Schedule, s.Backoff, pt.P, pt.Rate, pt.DeliveredFraction, baseByP[pt.P])
+			}
+			if pt.DeadlineMissFraction < 0 || pt.DeadlineMissFraction > 1 {
+				t.Errorf("self-heal %s/%s p=%g rate=%d: miss fraction %g out of [0,1]",
+					s.Schedule, s.Backoff, pt.P, pt.Rate, pt.DeadlineMissFraction)
+			}
+			if pt.Reroutes > pt.Retries {
+				t.Errorf("self-heal %s/%s p=%g rate=%d: reroutes %d exceed retries %d",
+					s.Schedule, s.Backoff, pt.P, pt.Rate, pt.Reroutes, pt.Retries)
+			}
+			if pt.P == 0 {
+				if pt.Retries != 0 || pt.Abandoned != 0 || pt.Repaired.N != 0 {
+					t.Errorf("self-heal %s/%s rate=%d: clean fabric reports healing work: %+v",
+						s.Schedule, s.Backoff, pt.Rate, pt)
+				}
+			} else if pt.Repaired.N > 0 && pt.Repaired.P99 < pt.Latency.P50 {
+				t.Errorf("self-heal %s/%s p=%g rate=%d: post-repair p99 %d below overall p50 %d",
+					s.Schedule, s.Backoff, pt.P, pt.Rate, pt.Repaired.P99, pt.Latency.P50)
+			}
+		}
+	}
 }
 
 // Paper-vs-measured agreement spot checks through the experiment layer.

@@ -39,6 +39,7 @@ import (
 	"os"
 
 	"multipath"
+	"multipath/internal/faults"
 	"multipath/internal/netsim"
 	"multipath/internal/obsv"
 	"multipath/internal/traffic"
@@ -55,9 +56,15 @@ func main() {
 	arrival := flag.String("arrival", "", "open-loop arrival process: poisson | mmpp | pareto | lognormal (empty: closed-loop)")
 	rate := flag.Float64("rate", 0.1, "open-loop mean arrival rate (arrivals per step)")
 	arrivals := flag.Int("arrivals", 2000, "open-loop arrival count")
+	faultP := flag.Float64("fault-p", 0, "open-loop Bernoulli link-fault probability (permanent, per directed link)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault draw seed (couples the fault sets across -fault-p values)")
+	faultBurst := flag.String("fault-burst", "", "add a transient outage epoch from:until (steps) drawn at -fault-p, e.g. 16:48")
 	flag.Parse()
 
-	ol := openLoopCfg{process: *arrival, rate: *rate, arrivals: *arrivals}
+	ol := openLoopCfg{
+		process: *arrival, rate: *rate, arrivals: *arrivals,
+		faultP: *faultP, faultSeed: *faultSeed, faultBurst: *faultBurst,
+	}
 	if err := run(*n, *flits, *seed, *strategy, *obs, *tracePath, *shards, ol); err != nil {
 		fmt.Fprintln(os.Stderr, "routesim:", err)
 		os.Exit(1)
@@ -70,6 +77,13 @@ type openLoopCfg struct {
 	process  string
 	rate     float64
 	arrivals int
+	// faultP > 0 runs the open-loop strategies over a degraded fabric:
+	// a permanent Bernoulli link-fault draw at faultSeed, optionally
+	// composed (faults.Union) with a transient BernoulliWindow outage
+	// epoch parsed from faultBurst ("from:until").
+	faultP     float64
+	faultSeed  int64
+	faultBurst string
 }
 
 // strategyEntry is one selected strategy's prepared workload.
@@ -126,6 +140,9 @@ func run(n, flits int, seed int64, strategy string, obs bool, tracePath string, 
 
 	if ol.process != "" {
 		return runOpenLoop(entries, ol, seed, obs, tracePath, shards)
+	}
+	if ol.faultP != 0 || ol.faultBurst != "" {
+		return fmt.Errorf("-fault-p and -fault-burst need the open-loop mode (set -arrival)")
 	}
 
 	if obs || tracePath != "" {
@@ -246,12 +263,37 @@ func arrivalTrace(ol openLoopCfg, seed int64, ntmpl int) (*netsim.Trace, error) 
 	}
 }
 
+// faultSchedule builds the open-loop fault oracle from the -fault-p /
+// -fault-seed / -fault-burst flags for a template pool spanning
+// numLinks directed links, or nil when faults are off.
+func faultSchedule(ol openLoopCfg, numLinks int) (*faults.Schedule, error) {
+	if ol.faultP < 0 || ol.faultP > 1 {
+		return nil, fmt.Errorf("-fault-p must be in [0,1], got %v", ol.faultP)
+	}
+	if ol.faultP == 0 {
+		if ol.faultBurst != "" {
+			return nil, fmt.Errorf("-fault-burst needs -fault-p > 0")
+		}
+		return nil, nil
+	}
+	sched := faults.Bernoulli(numLinks, ol.faultP, ol.faultSeed)
+	if ol.faultBurst != "" {
+		var from, until int
+		if _, err := fmt.Sscanf(ol.faultBurst, "%d:%d", &from, &until); err != nil || from < 1 || until <= from {
+			return nil, fmt.Errorf("-fault-burst wants from:until with 1 <= from < until, got %q", ol.faultBurst)
+		}
+		sched = faults.Union(sched, faults.BernoulliWindow(numLinks, ol.faultP, ol.faultSeed+911, from, until))
+	}
+	return sched, nil
+}
+
 // runOpenLoop runs each selected buffered strategy open-loop: its
 // message set becomes the template pool and the configured arrival
 // process injects instances over time through the sharded engine
 // (shards ≤ 1 is exactly the single-shard engine, and every shard
-// count is bit-identical). Wormhole switching has no open-loop model
-// and is skipped with a note.
+// count is bit-identical). -fault-p degrades the fabric under the
+// arrivals; the report then adds failed/dropped accounting. Wormhole
+// switching has no open-loop model and is skipped with a note.
 func runOpenLoop(entries []strategyEntry, ol openLoopCfg, seed int64, obs bool, tracePath string, shards int) error {
 	var tw *obsv.TraceWriter
 	if tracePath != "" {
@@ -277,7 +319,22 @@ func runOpenLoop(entries []strategyEntry, ol openLoopCfg, seed int64, obs bool, 
 		// *steps* into its own MsgLatency, which in open-loop time is
 		// not a latency.
 		lat, rec := obsv.NewRecorder(), obsv.NewRecorder()
+		numLinks := 0
+		for _, m := range e.msgs {
+			for _, l := range m.Route {
+				if l >= numLinks {
+					numLinks = l + 1
+				}
+			}
+		}
+		sched, err := faultSchedule(ol, numLinks)
+		if err != nil {
+			return err
+		}
 		opts := netsim.OpenLoopOpts{Mode: e.mode, Sink: lat.MsgLatency}
+		if sched != nil {
+			opts.Faults = sched
+		}
 		if obs && tw != nil {
 			opts.Probe = obsv.Multi(rec, tw)
 		} else if obs {
@@ -291,6 +348,10 @@ func runOpenLoop(entries []strategyEntry, ol openLoopCfg, seed int64, obs bool, 
 		}
 		fmt.Printf("%-9s steps=%-8d delivered=%-6d skipped=%-8d inflight-max=%-5d flit-hops=%d\n",
 			e.name, res.Steps, res.DeliveredMsgs, res.SkippedSteps, res.MaxInFlight, res.FlitsMoved)
+		if sched != nil {
+			fmt.Printf("          faulty-links=%d failed=%d dropped-flit-hops=%d\n",
+				sched.FaultyLinks(), res.FailedMsgs, res.DroppedFlits)
+		}
 		if obs {
 			ml, qd := lat.MsgLatency.Summarize(), rec.QueueDepth.Summarize()
 			fmt.Printf("          msg-lat p50/p95/p99=%d/%d/%d  queue p95/max=%d/%d\n",

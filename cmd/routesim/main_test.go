@@ -113,3 +113,40 @@ func TestRunRejectsNegativeShards(t *testing.T) {
 		t.Error("negative -shards accepted")
 	}
 }
+
+func TestRunOpenLoopFaulty(t *testing.T) {
+	ol := openLoopCfg{process: "poisson", rate: 0.2, arrivals: 200, faultP: 0.05, faultSeed: 3}
+	if err := run(4, 8, 7, "ecube-ct", false, "", 2, ol); err != nil {
+		t.Fatalf("open-loop faulty run: %v", err)
+	}
+	ol.faultBurst = "16:48"
+	if err := run(4, 8, 7, "ecube-ct", false, "", 2, ol); err != nil {
+		t.Fatalf("open-loop burst run: %v", err)
+	}
+}
+
+func TestRunRejectsBadFaultFlags(t *testing.T) {
+	// Fault flags require the open-loop mode.
+	if err := run(4, 8, 1, "ecube-ct", false, "", 1, openLoopCfg{faultP: 0.1}); err == nil {
+		t.Fatal("closed-loop -fault-p accepted")
+	}
+	if err := run(4, 8, 1, "ecube-ct", false, "", 1, openLoopCfg{faultBurst: "16:48"}); err == nil {
+		t.Fatal("closed-loop -fault-burst accepted")
+	}
+	ol := openLoopCfg{process: "poisson", rate: 0.2, arrivals: 10}
+	bad := ol
+	bad.faultP = 1.5
+	if err := run(4, 8, 1, "ecube-ct", false, "", 1, bad); err == nil {
+		t.Fatal("-fault-p out of range accepted")
+	}
+	bad = ol
+	bad.faultBurst = "16:48"
+	if err := run(4, 8, 1, "ecube-ct", false, "", 1, bad); err == nil {
+		t.Fatal("-fault-burst without -fault-p accepted")
+	}
+	bad = ol
+	bad.faultP, bad.faultBurst = 0.1, "48:16"
+	if err := run(4, 8, 1, "ecube-ct", false, "", 1, bad); err == nil {
+		t.Fatal("inverted burst window accepted")
+	}
+}

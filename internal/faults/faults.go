@@ -134,11 +134,43 @@ func Burst(links []int, from, until int) *Schedule {
 // sequence is one Float64 per link in id order, so for a fixed seed the
 // faulty set at p1 ≤ p2 is a subset of the set at p2.
 func Bernoulli(numLinks int, p float64, seed int64) *Schedule {
+	return BernoulliWindow(numLinks, p, seed, 1, 0)
+}
+
+// BernoulliWindow is Bernoulli with the outage window made explicit:
+// each selected link is down for from ≤ step < until (until ≤ 0 for
+// permanent — then it is exactly Bernoulli when from is 1). The draw
+// sequence is identical to Bernoulli's — one Float64 per link in id
+// order — so for a fixed seed the same links fail regardless of the
+// window, and the p-coupling (faulty set monotone in p) carries over.
+// A transient window models a correlated outage epoch that heals: the
+// degraded-fabric phase of the self-healing experiments.
+func BernoulliWindow(numLinks int, p float64, seed int64, from, until int) *Schedule {
 	rng := rand.New(rand.NewSource(seed))
 	s := NewSchedule()
 	for id := 0; id < numLinks; id++ {
 		if rng.Float64() < p {
-			s.FailLink(id, 1)
+			s.add(id, window{From: from, Until: until})
+		}
+	}
+	return s
+}
+
+// Union merges the outage windows of both schedules into a new
+// schedule: a link is down whenever either argument says so. Either
+// argument may be nil. Composes independent fault processes — e.g. a
+// Bernoulli link-death draw plus an adversarial Burst on one path
+// bundle.
+func Union(a, b *Schedule) *Schedule {
+	s := NewSchedule()
+	for _, src := range []*Schedule{a, b} {
+		if src == nil {
+			continue
+		}
+		for l, ws := range src.byLink {
+			for _, w := range ws {
+				s.add(l, w)
+			}
 		}
 	}
 	return s
@@ -238,6 +270,12 @@ func (m *PerStep) Status(link, step int) (down, permanent bool) {
 
 // Horizon implements Oracle: per-step sampling never settles.
 func (m *PerStep) Horizon() int { return -1 }
+
+// Hash01 maps (seed, a, b) to [0, 1) deterministically — the stateless
+// uniform draw behind PerStep, exported for other replayable policies
+// that need per-entity randomness without shared rng state (e.g. the
+// self-healing session's backoff jitter, keyed by (transfer, attempt)).
+func Hash01(seed int64, a, b int) float64 { return hash01(seed, a, b) }
 
 // hash01 maps (seed, link, step) to [0, 1) via two rounds of
 // splitmix64 finalization — deterministic across platforms.

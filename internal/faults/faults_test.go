@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"reflect"
 	"testing"
 
 	"multipath/internal/hypercube"
@@ -185,5 +186,89 @@ func TestPerStepDeterministicAndBounded(t *testing.T) {
 	}
 	if d, _ := (&PerStep{P: 0, Seed: 1}).Status(0, 1); d {
 		t.Error("P=0 downed a link")
+	}
+}
+
+func TestBernoulliWindowCoupledDraw(t *testing.T) {
+	const links, seed = 64, 11
+	perm := Bernoulli(links, 0.15, seed)
+	win := BernoulliWindow(links, 0.15, seed, 5, 20)
+	if got, want := win.Links(), perm.Links(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("window changed the draw: %v vs %v", got, want)
+	}
+	for _, l := range win.Links() {
+		if d, _ := win.Status(l, 4); d {
+			t.Fatalf("link %d down before window opens", l)
+		}
+		d, p := win.Status(l, 5)
+		if !d || p {
+			t.Fatalf("link %d at step 5: down=%v permanent=%v, want transient outage", l, d, p)
+		}
+		if d, _ := win.Status(l, 20); d {
+			t.Fatalf("link %d still down at recovery step", l)
+		}
+	}
+	if h := win.Horizon(); h != 20 {
+		t.Fatalf("window horizon %d, want 20", h)
+	}
+	// until <= 0 makes the outage permanent — then BernoulliWindow from
+	// step 1 is exactly Bernoulli.
+	if got := BernoulliWindow(links, 0.15, seed, 1, 0); !reflect.DeepEqual(got, perm) {
+		t.Fatal("permanent window from step 1 differs from Bernoulli")
+	}
+}
+
+func TestUnionMergesSchedules(t *testing.T) {
+	a := NewSchedule().FailLink(3, 2).FailLinkTransient(5, 1, 4)
+	b := NewSchedule().FailLink(5, 10).FailLink(7, 1)
+	u := Union(a, b)
+	if got, want := u.Links(), []int{3, 5, 7}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("union links %v, want %v", got, want)
+	}
+	// Link 5 carries windows from both sides: transient [1,4) from a,
+	// permanent from 10 from b.
+	if d, p := u.Status(5, 2); !d || p {
+		t.Fatalf("link 5 step 2: down=%v permanent=%v, want transient", d, p)
+	}
+	if d, _ := u.Status(5, 6); d {
+		t.Fatal("link 5 down between the two outages")
+	}
+	if d, p := u.Status(5, 12); !d || !p {
+		t.Fatalf("link 5 step 12: down=%v permanent=%v, want permanent", d, p)
+	}
+	if h := u.Horizon(); h != 10 {
+		t.Fatalf("union horizon %d, want 10", h)
+	}
+	// Union must copy, not alias: growing the union leaves the inputs
+	// untouched.
+	u.FailLink(9, 1)
+	if a.EverDown(9) || b.EverDown(9) {
+		t.Fatal("union aliased its inputs")
+	}
+	if got := Union(nil, b); !reflect.DeepEqual(got.Links(), b.Links()) {
+		t.Fatal("nil left argument not handled")
+	}
+	if got := Union(a, nil); !reflect.DeepEqual(got.Links(), a.Links()) {
+		t.Fatal("nil right argument not handled")
+	}
+}
+
+func TestHash01RangeAndDeterminism(t *testing.T) {
+	seen := map[float64]int{}
+	for i := 0; i < 2000; i++ {
+		v := Hash01(42, i%37, i/37)
+		if v < 0 || v >= 1 {
+			t.Fatalf("Hash01 out of [0,1): %v", v)
+		}
+		if v != Hash01(42, i%37, i/37) {
+			t.Fatal("Hash01 not deterministic")
+		}
+		seen[v]++
+	}
+	if len(seen) < 1900 {
+		t.Fatalf("Hash01 collides too much: %d distinct of 2000", len(seen))
+	}
+	if Hash01(1, 2, 3) == Hash01(2, 2, 3) {
+		t.Fatal("seed does not perturb the draw")
 	}
 }

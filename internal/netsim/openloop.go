@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"cmp"
 	"fmt"
 	"slices"
 )
@@ -55,6 +56,13 @@ type Arrival struct {
 // arrival ahead of the simulated clock, so a source generating
 // millions of arrivals (internal/traffic's Poisson and MMPP
 // processes) never needs to materialize them.
+//
+// When OpenLoopOpts.Listener is non-nil, Next may be called again
+// after it has returned ok=false: a listener reacting to a failure can
+// schedule reroute arrivals, so exhaustion is re-checked at every
+// injection point. Arrivals produced by a re-poll must still respect
+// the nondecreasing-step contract relative to everything returned
+// before. Listener-off runs never re-poll.
 type ArrivalSource interface {
 	// Next returns the next arrival, or ok=false when the source is
 	// exhausted.
@@ -147,6 +155,12 @@ type OpenLoopOpts struct {
 	// (nothing in flight) are never observed. Message ids are arrival
 	// indices.
 	Probe Probe
+	// Listener, when non-nil, receives failure notifications (link
+	// deaths and the message ids they doom) in the canonical order
+	// documented on FaultListener, and enables source re-polling so a
+	// reacting listener can inject reroute arrivals. Nil-checked at
+	// every call site: listener-off runs are bit-identical.
+	Listener FaultListener
 }
 
 // validate rejects option values that would otherwise silently
@@ -249,9 +263,13 @@ func (e *Engine) SimulateOpenLoop(tmpls []*Message, src ArrivalSource, opts Open
 	live := 0     // slots currently in flight
 	inFlight := 0 // their total flits, for the livelock bound
 	nextMsg := int32(0)
+	lastStep := 0 // step of the last successful pull, for re-poll checks
 	pending, havePending := src.Next()
-	if havePending && pending.Step < 0 {
-		return nil, fmt.Errorf("netsim: arrival step %d is negative", pending.Step)
+	if havePending {
+		if pending.Step < 0 {
+			return nil, fmt.Errorf("netsim: arrival step %d is negative", pending.Step)
+		}
+		lastStep = pending.Step
 	}
 
 	// inject places the pending arrival at the given step and returns
@@ -316,10 +334,34 @@ func (e *Engine) SimulateOpenLoop(tmpls []*Message, src ArrivalSource, opts Open
 	// so nextMsg is the offending arrival's index.
 	advance := func() (Arrival, bool, error) {
 		n, ok := src.Next()
-		if ok && n.Step < pending.Step {
-			return n, ok, fmt.Errorf("netsim: arrival %d: steps must be nondecreasing (step %d after %d)", nextMsg, n.Step, pending.Step)
+		if ok {
+			if n.Step < pending.Step {
+				return n, ok, fmt.Errorf("netsim: arrival %d: steps must be nondecreasing (step %d after %d)", nextMsg, n.Step, pending.Step)
+			}
+			lastStep = n.Step
 		}
 		return n, ok, nil
+	}
+
+	// repoll re-queries an exhausted source. With a listener attached
+	// the source may be a reacting session that schedules reroute
+	// arrivals from failure callbacks, so ok=false is never final; the
+	// engine asks again at every injection decision point. Listener-off
+	// runs keep the historical one-ahead pull pattern untouched.
+	repoll := func() error {
+		if havePending || opts.Listener == nil {
+			return nil
+		}
+		n, ok := src.Next()
+		if !ok {
+			return nil
+		}
+		if n.Step < lastStep {
+			return fmt.Errorf("netsim: arrival %d: steps must be nondecreasing (step %d after %d)", nextMsg, n.Step, lastStep)
+		}
+		pending, havePending = n, true
+		lastStep = n.Step
+		return nil
 	}
 
 	// posCmp orders an enqueue batch by (message id, hop) — the
@@ -345,6 +387,9 @@ func (e *Engine) SimulateOpenLoop(tmpls []*Message, src ArrivalSource, opts Open
 	lastProgress := 0
 	for {
 		if live == 0 {
+			if err := repoll(); err != nil {
+				return nil, err
+			}
 			if !havePending {
 				break
 			}
@@ -384,13 +429,24 @@ func (e *Engine) SimulateOpenLoop(tmpls []*Message, src ArrivalSource, opts Open
 		step++
 		if graceful && step > opts.StepLimit {
 			olr.TimedOut = true
+			// Sweep in ascending message id order — the canonical
+			// failure order shared with the sharded engine and the
+			// reference model (slot order is arrival-history-dependent).
+			sweep := e.kill[:0]
 			for s := range e.olSlotMsg {
 				if e.olSlotMsg[s] >= 0 {
-					e.olFailSlot(int32(s), opts.StepLimit, &opts, olr)
-					e.olSlotDead[s] = false
-					e.olSlotMsg[s] = -1
+					sweep = append(sweep, int32(s))
 				}
 			}
+			slices.SortFunc(sweep, func(a, b int32) int {
+				return cmp.Compare(e.olSlotMsg[a], e.olSlotMsg[b])
+			})
+			for _, s := range sweep {
+				e.olFailSlot(s, opts.StepLimit, -1, &opts, olr)
+				e.olSlotDead[s] = false
+				e.olSlotMsg[s] = -1
+			}
+			e.kill = sweep[:0]
 			live, inFlight = 0, 0
 			break
 		}
@@ -474,6 +530,9 @@ func (e *Engine) SimulateOpenLoop(tmpls []*Message, src ArrivalSource, opts Open
 		if len(down) > 0 {
 			slices.Sort(down)
 			for _, l := range down {
+				if opts.Listener != nil {
+					opts.Listener.LinkDown(step, e.ext[l], true)
+				}
 				e.olKillQueued(l, step, &opts, olr)
 			}
 			killed = len(e.olKilled) > 0
@@ -545,7 +604,12 @@ func (e *Engine) SimulateOpenLoop(tmpls []*Message, src ArrivalSource, opts Open
 			e.olFree[e.olSlotTmpl[s]] = append(e.olFree[e.olSlotTmpl[s]], s)
 		}
 		e.olKilled = e.olKilled[:0]
-		// Injections due this step join the enqueue batch.
+		// Injections due this step join the enqueue batch. A listener
+		// reacting to this step's kills may have scheduled reroutes, so
+		// re-check an exhausted source first.
+		if err := repoll(); err != nil {
+			return nil, err
+		}
 		injected := false
 		for havePending && pending.Step == step {
 			base, err := inject(step)
@@ -674,8 +738,9 @@ func (e *Engine) olKillQueued(l int32, step int, opts *OpenLoopOpts, olr *OpenLo
 			e.kill = append(e.kill, s)
 		}
 	}
+	blame := e.ext[l]
 	for _, s := range e.kill {
-		if e.olFailSlot(s, step, opts, olr) {
+		if e.olFailSlot(s, step, blame, opts, olr) {
 			e.olKilled = append(e.olKilled, s)
 		}
 	}
@@ -683,10 +748,12 @@ func (e *Engine) olKillQueued(l int32, step int, opts *OpenLoopOpts, olr *OpenLo
 
 // olFailSlot marks slot s failed at step: removes its queued requests
 // from their FIFOs, returns their credits, accounts every not-yet-moved
-// flit-hop as dropped, and reports the failure. Idempotent per step;
-// the caller recycles the slot once the arrival phase has seen the
-// dead flag. Reports whether this call did the kill.
-func (e *Engine) olFailSlot(s int32, step int, opts *OpenLoopOpts, olr *OpenLoopResult) bool {
+// flit-hop as dropped, and reports the failure — blame is the external
+// id of the killing link (-1 for StepLimit sweeps), forwarded to the
+// FaultListener. Idempotent per step; the caller recycles the slot once
+// the arrival phase has seen the dead flag. Reports whether this call
+// did the kill.
+func (e *Engine) olFailSlot(s int32, step, blame int, opts *OpenLoopOpts, olr *OpenLoopResult) bool {
 	if e.olSlotDead[s] {
 		return false
 	}
@@ -715,6 +782,9 @@ func (e *Engine) olFailSlot(s int32, step int, opts *OpenLoopOpts, olr *OpenLoop
 	}
 	if opts.PerMessage != nil {
 		opts.PerMessage(msg, e.olSlotArr[s], step, false)
+	}
+	if opts.Listener != nil {
+		opts.Listener.MsgFailed(step, msg, blame)
 	}
 	return true
 }

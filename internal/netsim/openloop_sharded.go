@@ -76,6 +76,7 @@ type olSharded struct {
 	live         int // slots currently in flight
 	inFlight     int // their total flits, for the livelock bound
 	nextMsg      int32
+	lastStep     int // step of the last successful pull, for re-poll checks
 	movedPrev    int // Σ st.moved at the previous step end
 	pending      Arrival
 	havePending  bool
@@ -226,10 +227,14 @@ func (sh *olSharded) run(tmpls []*Message, src ArrivalSource, opts OpenLoopOpts,
 	sh.killEv = sh.killEv[:0]
 	sh.bar.init(shards)
 
+	sh.lastStep = 0
 	sh.pending, sh.havePending = src.Next()
-	if sh.havePending && sh.pending.Step < 0 {
-		sh.reset()
-		return nil, nil, fmt.Errorf("netsim: arrival step %d is negative", sh.pending.Step)
+	if sh.havePending {
+		if sh.pending.Step < 0 {
+			sh.reset()
+			return nil, nil, fmt.Errorf("netsim: arrival step %d is negative", sh.pending.Step)
+		}
+		sh.lastStep = sh.pending.Step
 	}
 
 	// Leap to the first arrivals and inject them, then open the first
@@ -334,6 +339,10 @@ func (sh *olSharded) fail(err error) {
 // single-threaded (setup or a barrier action).
 func (sh *olSharded) advanceIdle() {
 	for sh.live == 0 && !sh.done {
+		sh.repoll()
+		if sh.err != nil {
+			return
+		}
 		if !sh.havePending {
 			sh.done = true
 			return
@@ -395,7 +404,7 @@ func (sh *olSharded) timeoutSweep() {
 		return int(e.olSlotMsg[a] - e.olSlotMsg[b])
 	})
 	for _, s := range sw {
-		sh.olFailSlotSharded(s, limit)
+		sh.olFailSlotSharded(s, limit, -1)
 		e.olSlotDead[s] = false
 		e.olSlotMsg[s] = -1
 	}
@@ -411,9 +420,15 @@ func (sh *olSharded) timeoutSweep() {
 
 // injectDue injects every pending arrival due at the current step,
 // enqueueing each base position on the shard owning its first link.
-// Reports whether at least one arrival was injected; on error sh.err
-// is set and the loop stops.
+// An exhausted source is re-polled first when a listener is attached —
+// this step's failure callbacks may have scheduled reroutes. Reports
+// whether at least one arrival was injected; on error sh.err is set
+// and the loop stops.
 func (sh *olSharded) injectDue() bool {
+	sh.repoll()
+	if sh.err != nil {
+		return false
+	}
 	injected := false
 	for sh.havePending && sh.pending.Step == sh.step {
 		if !sh.injectPending() {
@@ -421,13 +436,37 @@ func (sh *olSharded) injectDue() bool {
 		}
 		injected = true
 		n, ok := sh.src.Next()
-		if ok && n.Step < sh.pending.Step {
-			sh.fail(fmt.Errorf("netsim: arrival %d: steps must be nondecreasing (step %d after %d)", sh.nextMsg, n.Step, sh.pending.Step))
-			return injected
+		if ok {
+			if n.Step < sh.pending.Step {
+				sh.fail(fmt.Errorf("netsim: arrival %d: steps must be nondecreasing (step %d after %d)", sh.nextMsg, n.Step, sh.pending.Step))
+				return injected
+			}
+			sh.lastStep = n.Step
 		}
 		sh.pending, sh.havePending = n, ok
 	}
 	return injected
+}
+
+// repoll re-queries an exhausted source, mirroring the single-shard
+// repoll: with a listener attached the source may be a reacting
+// session whose failure callbacks schedule reroute arrivals, so
+// ok=false is never final. Listener-off runs keep the historical
+// one-ahead pull pattern untouched. Runs single-threaded.
+func (sh *olSharded) repoll() {
+	if sh.havePending || sh.opts.Listener == nil {
+		return
+	}
+	n, ok := sh.src.Next()
+	if !ok {
+		return
+	}
+	if n.Step < sh.lastStep {
+		sh.fail(fmt.Errorf("netsim: arrival %d: steps must be nondecreasing (step %d after %d)", sh.nextMsg, n.Step, sh.lastStep))
+		return
+	}
+	sh.pending, sh.havePending = n, true
+	sh.lastStep = n.Step
 }
 
 // injectPending places the pending arrival at the current step:
@@ -630,6 +669,9 @@ func (sh *olSharded) killAction() {
 		}
 		slices.Sort(st.down)
 		for _, l := range st.down {
+			if sh.opts.Listener != nil {
+				sh.opts.Listener.LinkDown(sh.step, e.ext[l], true)
+			}
 			e.kill = e.kill[:0]
 			for p := e.qhead[l]; p >= 0; p = e.olQNext[p] {
 				s := e.olPosSlot[p]
@@ -637,8 +679,9 @@ func (sh *olSharded) killAction() {
 					e.kill = append(e.kill, s)
 				}
 			}
+			blame := e.ext[l]
 			for _, s := range e.kill {
-				if sh.olFailSlotSharded(s, sh.step) {
+				if sh.olFailSlotSharded(s, sh.step, blame) {
 					e.olKilled = append(e.olKilled, s)
 				}
 			}
@@ -648,10 +691,11 @@ func (sh *olSharded) killAction() {
 
 // olFailSlotSharded mirrors olFailSlot with each dropped flit-hop
 // additionally attributed to the shard owning its link and the probe
-// events buffered for the canonical flush. Runs single-threaded
-// (barrier action or timeout sweep); idempotent per step via the dead
-// flag.
-func (sh *olSharded) olFailSlotSharded(s int32, step int) bool {
+// events buffered for the canonical flush; blame is the killing link's
+// external id (-1 for StepLimit sweeps), forwarded to the
+// FaultListener. Runs single-threaded (barrier action or timeout
+// sweep); idempotent per step via the dead flag.
+func (sh *olSharded) olFailSlotSharded(s int32, step, blame int) bool {
 	e := sh.e
 	if e.olSlotDead[s] {
 		return false
@@ -683,6 +727,9 @@ func (sh *olSharded) olFailSlotSharded(s int32, step int) bool {
 	}
 	if sh.opts.PerMessage != nil {
 		sh.opts.PerMessage(msg, e.olSlotArr[s], step, false)
+	}
+	if sh.opts.Listener != nil {
+		sh.opts.Listener.MsgFailed(step, msg, blame)
 	}
 	return true
 }

@@ -83,6 +83,50 @@ func MultiCopyCCCMessages(mc *core.MultiCopy, n int, perm []int, flits int) ([]*
 	return msgs, nil
 }
 
+// PathTemplates builds one open-loop route template per disjoint path
+// of each listed guest edge of a multiple-path embedding (edges nil
+// selects every guest edge), each template carrying flits flits, and
+// returns the per-edge index groups: groups[b] lists the template
+// indices of bundle b's paths in path order, so groups[b][j] is path j
+// of edges[b]. Zero-hop paths (both guest endpoints mapped to the same
+// host node) keep an empty-route template so a bundle's path indexing
+// stays aligned with e.Paths; the open-loop engine delivers arrivals
+// on them instantly. This is the template layout the self-healing
+// session (internal/selfheal) keys its reroute path cycling on.
+func PathTemplates(e *core.Embedding, edges []int, flits int) ([]*netsim.Message, [][]int32, error) {
+	if flits < 1 {
+		return nil, nil, fmt.Errorf("traffic: path templates need at least 1 flit, got %d", flits)
+	}
+	if edges == nil {
+		edges = make([]int, len(e.Paths))
+		for i := range edges {
+			edges[i] = i
+		}
+	}
+	var tmpls []*netsim.Message
+	groups := make([][]int32, len(edges))
+	for b, ge := range edges {
+		if ge < 0 || ge >= len(e.Paths) {
+			return nil, nil, fmt.Errorf("traffic: guest edge %d out of range [0,%d)", ge, len(e.Paths))
+		}
+		ps := e.Paths[ge]
+		group := make([]int32, len(ps))
+		for j, p := range ps {
+			var ids []int
+			if len(p) >= 2 {
+				var err error
+				if ids, err = e.Host.PathEdgeIDs(p); err != nil {
+					return nil, nil, err
+				}
+			}
+			group[j] = int32(len(tmpls))
+			tmpls = append(tmpls, &netsim.Message{Route: ids, Flits: flits})
+		}
+		groups[b] = group
+	}
+	return tmpls, groups, nil
+}
+
 // WidthPathMessages spreads an M-flit transfer per guest edge of a
 // multiple-path embedding across its disjoint paths — the paper's §2
 // use of width for throughput.

@@ -215,3 +215,76 @@ func TestWidthPathsEngineMatchesReference(t *testing.T) {
 		}
 	}
 }
+
+func TestPathTemplatesLayout(t *testing.T) {
+	e, err := cycles.Theorem1(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpls, groups, err := PathTemplates(e, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != len(e.Paths) {
+		t.Fatalf("%d groups for %d guest edges", len(groups), len(e.Paths))
+	}
+	total := 0
+	for b, group := range groups {
+		if len(group) != len(e.Paths[b]) {
+			t.Fatalf("bundle %d: %d templates for %d paths", b, len(group), len(e.Paths[b]))
+		}
+		for j, ti := range group {
+			m := tmpls[ti]
+			if m.Flits != 3 {
+				t.Fatalf("bundle %d path %d: %d flits", b, j, m.Flits)
+			}
+			p := e.Paths[b][j]
+			wantHops := len(p) - 1
+			if wantHops < 0 {
+				wantHops = 0
+			}
+			if len(m.Route) != wantHops {
+				t.Fatalf("bundle %d path %d: route %v for path %v", b, j, m.Route, p)
+			}
+			ids, err := e.Host.PathEdgeIDs(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantHops > 0 && !reflect.DeepEqual(m.Route, ids) {
+				t.Fatalf("bundle %d path %d: route %v, want %v", b, j, m.Route, ids)
+			}
+			total++
+		}
+	}
+	if total != len(tmpls) {
+		t.Fatalf("groups cover %d templates of %d", total, len(tmpls))
+	}
+
+	// An explicit edge subset selects exactly those bundles, in order.
+	sub, sg, err := PathTemplates(e, []int{2, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sg) != 2 || len(sg[0]) != len(e.Paths[2]) || len(sg[1]) != len(e.Paths[0]) {
+		t.Fatalf("subset groups misshapen: %v", sg)
+	}
+	if got, want := sub[sg[1][0]].Route, tmpls[groups[0][0]].Route; !reflect.DeepEqual(got, want) {
+		t.Fatalf("subset bundle 1 path 0 route %v, want edge 0's %v", got, want)
+	}
+}
+
+func TestPathTemplatesErrors(t *testing.T) {
+	e, err := cycles.Theorem1(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := PathTemplates(e, nil, 0); err == nil {
+		t.Error("flits 0 accepted")
+	}
+	if _, _, err := PathTemplates(e, []int{len(e.Paths)}, 1); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, _, err := PathTemplates(e, []int{-1}, 1); err == nil {
+		t.Error("negative edge accepted")
+	}
+}

@@ -63,6 +63,13 @@ type Config struct {
 	K int
 	// MaxRetries bounds the retry rounds after the first attempt.
 	MaxRetries int
+	// Deadline, when positive, is the per-edge completion budget in
+	// absolute steps: an edge whose payload is not reconstructed by
+	// step Deadline (late or never) counts as a deadline miss in the
+	// Report. It does not change routing — transfers run to their
+	// retry bound either way — it only classifies outcomes, matching
+	// the self-healing session's Config.Deadline accounting.
+	Deadline int
 	// StepLimit caps each round's steps (a timeout). 0 derives the
 	// livelock bound from the round's work; unbounded fault models
 	// (faults.PerStep) then need an explicit limit.
@@ -114,7 +121,16 @@ type Report struct {
 	MeanLatency     float64
 	PiecesSent      int
 	PiecesDelivered int
-	EdgeReports     []EdgeReport
+	// Retries is the number of pieces resent in retry rounds (rounds
+	// after the first); Reroutes counts those that failed over onto a
+	// different path than the piece's first-round one — the closed-loop
+	// mirror of the self-healing Report's fields of the same names.
+	Retries  int
+	Reroutes int
+	// DeadlineMisses counts edges (Config.Deadline > 0 only) whose
+	// payload was not reconstructed within the deadline.
+	DeadlineMisses int
+	EdgeReports    []EdgeReport
 	// RoundStats has one entry per simulation round actually run, in
 	// order — the per-round delivered/latency series behind the
 	// aggregate numbers above.
@@ -246,6 +262,14 @@ func SendEdges(e *core.Embedding, edges []int, cfg Config) (*Report, error) {
 			msgs[i] = &netsim.Message{Route: s.st.routes[s.path], Flits: s.st.flits}
 			rep.PiecesSent++
 			s.st.piecesSent++
+			if round > 1 {
+				// The first round sends piece j on path j, so any retry
+				// on a different path is a failover reroute.
+				rep.Retries++
+				if s.path != s.piece {
+					rep.Reroutes++
+				}
+			}
 		}
 		fr, err := netsim.SimulateFaults(msgs, cfg.Mode, netsim.FaultOpts{
 			Faults:     cfg.Faults,
@@ -298,6 +322,9 @@ func SendEdges(e *core.Embedding, edges []int, cfg Config) (*Report, error) {
 			er.Latency = st.latency()
 			latSum += er.Latency
 			rep.DeliveredEdges++
+		}
+		if cfg.Deadline > 0 && (!st.ok || er.Latency > cfg.Deadline) {
+			rep.DeadlineMisses++
 		}
 		rep.EdgeReports = append(rep.EdgeReports, er)
 	}

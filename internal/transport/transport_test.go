@@ -437,3 +437,80 @@ func TestBadEdgeIndex(t *testing.T) {
 		t.Fatal("wanted range error")
 	}
 }
+
+// Retries/Reroutes/DeadlineMisses classify the healing work: a
+// single-path failover is one retry that is also a reroute, and a
+// deadline tighter than the failover latency flags the edge as a miss
+// without changing routing.
+func TestRetryRerouteDeadlineAccounting(t *testing.T) {
+	e := theorem1(t)
+	ids, err := e.Host.PathEdgeIDs(e.Paths[0][0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := faults.NewSchedule()
+	sched.FailLink(ids[0], 1)
+
+	clean, err := SendEdges(e, []int{0}, Config{
+		Strategy: SinglePath, Mode: netsim.StoreAndForward, Flits: 4, MaxRetries: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Retries != 0 || clean.Reroutes != 0 || clean.DeadlineMisses != 0 {
+		t.Fatalf("clean run accounted healing work: %+v", clean)
+	}
+
+	rep, err := SendEdges(e, []int{0}, Config{
+		Strategy: SinglePath, Mode: netsim.StoreAndForward, Flits: 4,
+		MaxRetries: 2, Faults: sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retries != 1 || rep.Reroutes != 1 {
+		t.Fatalf("failover should be one retry, one reroute: %+v", rep)
+	}
+	if rep.DeadlineMisses != 0 {
+		t.Fatalf("no deadline configured, yet misses reported: %+v", rep)
+	}
+	lat := rep.EdgeReports[0].Latency
+
+	// Deadline past the failover latency: delivered in time, no miss.
+	loose := Config{
+		Strategy: SinglePath, Mode: netsim.StoreAndForward, Flits: 4,
+		MaxRetries: 2, Faults: sched, Deadline: lat,
+	}
+	if r, err := SendEdges(e, []int{0}, loose); err != nil {
+		t.Fatal(err)
+	} else if r.DeadlineMisses != 0 {
+		t.Fatalf("deadline %d not missed by latency %d, yet: %+v", lat, lat, r)
+	}
+
+	// One step tighter: same delivery, now classified late.
+	tight := loose
+	tight.Deadline = lat - 1
+	r, err := SendEdges(e, []int{0}, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DeliveredEdges != 1 || r.DeadlineMisses != 1 {
+		t.Fatalf("late delivery should count as a miss: %+v", r)
+	}
+
+	// Undelivered edges always miss a configured deadline.
+	burst, err := BundleBurst(e, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead, err := SendEdges(e, []int{0}, Config{
+		Strategy: SinglePath, Mode: netsim.StoreAndForward, Flits: 4,
+		MaxRetries: 1, Faults: burst, Deadline: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dead.DeliveredEdges != 0 || dead.DeadlineMisses != 1 {
+		t.Fatalf("undelivered edge should miss its deadline: %+v", dead)
+	}
+}

@@ -41,6 +41,10 @@
 //   - SimulateOpenLoopSharded: the open-loop simulator on the
 //     partitioned engine — whole-cube saturation sweeps at
 //     million-node scale, bit-identical to SimulateOpenLoop.
+//   - SelfHealSend: the self-healing open-loop transport — live
+//     failure notifications, in-flight rerouting onto surviving
+//     disjoint paths with deterministic backoff and deadlines, and
+//     graceful-degradation accounting; shard-invariant by contract.
 //
 // All metrics (load, dilation, width, congestion, packet cost) are
 // recomputed by independent verifiers on the returned Embedding values;
@@ -63,6 +67,7 @@ import (
 	"multipath/internal/netsim"
 	"multipath/internal/obsv"
 	"multipath/internal/relax"
+	"multipath/internal/selfheal"
 	"multipath/internal/traffic"
 	"multipath/internal/transport"
 	"multipath/internal/xproduct"
@@ -133,6 +138,25 @@ type (
 	// OpenLoopResult reports an open-loop run: Result plus injection,
 	// in-flight, and leap accounting.
 	OpenLoopResult = netsim.OpenLoopResult
+	// FaultListener receives the open-loop engine's canonical failure
+	// notifications (link deaths and doomed messages); attaching one
+	// enables mid-run re-polling of the arrival source for reroute
+	// injection.
+	FaultListener = netsim.FaultListener
+	// SelfHealConfig parameterizes SelfHealSend.
+	SelfHealConfig = selfheal.Config
+	// SelfHealReport aggregates one self-healing open-loop run:
+	// delivered and deadline-miss fractions, retry/reroute counts, and
+	// the engine's piece-level result.
+	SelfHealReport = selfheal.Report
+	// SelfHealBackoff schedules retry delays for the self-healing
+	// session; implementations must be deterministic.
+	SelfHealBackoff = selfheal.Backoff
+	// FixedBackoff waits a constant number of steps before each retry.
+	FixedBackoff = selfheal.FixedBackoff
+	// ExpBackoff is seeded exponential backoff with stateless hash
+	// jitter — replayable regardless of callback interleaving.
+	ExpBackoff = selfheal.ExpBackoff
 	// CBTEmbedding is Theorem 5's complete-binary-tree result.
 	CBTEmbedding = xproduct.CBTEmbedding
 	// GridMultiPath is Corollary 1's grid embedding with phase costs.
@@ -151,6 +175,12 @@ const (
 const (
 	SinglePathTransport = transport.SinglePath
 	IDATransport        = transport.IDA
+)
+
+// Self-healing strategies.
+const (
+	RerouteSelfHeal = selfheal.Reroute
+	IDASelfHeal     = selfheal.IDA
 )
 
 // NewHypercube returns the Q_n host model (1 ≤ n ≤ 26).
@@ -293,6 +323,25 @@ func NewFaultSchedule() *FaultSchedule { return faults.NewSchedule() }
 // monotone in p.
 func BernoulliFaults(links int, p float64, seed int64) *FaultSchedule {
 	return faults.Bernoulli(links, p, seed)
+}
+
+// SelfHealSend runs the self-healing open-loop transport: each arrival
+// in the trace starts one transfer on the disjoint-path bundle of its
+// guest edge, failed pieces are rerouted in flight onto surviving
+// sibling paths under the configured backoff/deadline policy (or
+// dispersed k-of-n up front under IDASelfHeal), and new transfers
+// steer around links the engine has reported dead. The Report is
+// identical at every SelfHealConfig.Shards value.
+func SelfHealSend(e *Embedding, edges []int, arrivals *ArrivalTrace, cfg SelfHealConfig) (*SelfHealReport, error) {
+	return selfheal.Send(e, edges, arrivals, cfg)
+}
+
+// PathTemplates builds one open-loop route template per disjoint path
+// of each listed guest edge (edges nil selects all), returning the
+// per-edge template index groups — the layout SelfHealSend keys its
+// path cycling on.
+func PathTemplates(e *Embedding, edges []int, flits int) ([]*Message, [][]int32, error) {
+	return traffic.PathTemplates(e, edges, flits)
 }
 
 // TransportSend ships one payload per guest edge through the

@@ -362,3 +362,67 @@ func TestOpenLoopShardedJourney(t *testing.T) {
 		}
 	}
 }
+
+func TestSelfHealingJourney(t *testing.T) {
+	e, err := CycleWidthEmbedding(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One transfer per guest edge, 4 arrivals per step, over a fabric
+	// where 10% of directed links are permanently dead from step 1.
+	tr := &ArrivalTrace{}
+	for i := range e.Paths {
+		tr.Arrivals = append(tr.Arrivals, Arrival{Step: i / 4, Tmpl: int32(i)})
+	}
+	sched := BernoulliFaults(e.Host.DirectedEdges(), 0.1, 7)
+	cfg := SelfHealConfig{
+		Mode:       CutThrough,
+		Flits:      8,
+		Strategy:   RerouteSelfHeal,
+		MaxRetries: 3,
+		Deadline:   64,
+		Backoff:    ExpBackoff{Base: 2, Cap: 16, Jitter: 0.5, Seed: 1},
+		Faults:     sched,
+		StepLimit:  4000,
+	}
+	rep, err := SelfHealSend(e, nil, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retries == 0 || rep.Reroutes == 0 {
+		t.Fatalf("faulty fabric healed nothing: %+v", rep)
+	}
+	if rep.DeliveredFraction < 0.95 {
+		t.Fatalf("self-healing delivered only %.3f: %+v", rep.DeliveredFraction, rep)
+	}
+	// The contract that makes the numbers trustworthy: the Report is
+	// identical at any shard count.
+	sharded := cfg
+	sharded.Shards = 4
+	rep4, err := SelfHealSend(e, nil, tr, sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep4, rep) {
+		t.Fatalf("report diverged at 4 shards:\n%+v\nvs\n%+v", *rep4, *rep)
+	}
+	// IDA dispersal is the zero-retry alternative over the same bundle
+	// templates (PathTemplates exposes the layout).
+	tmpls, groups, err := PathTemplates(e, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != len(e.Paths) || len(tmpls) == 0 {
+		t.Fatalf("template layout misshapen: %d groups, %d templates", len(groups), len(tmpls))
+	}
+	ida := cfg
+	ida.Strategy = IDASelfHeal
+	ida.K = len(e.Paths[0]) - 1
+	idaRep, err := SelfHealSend(e, nil, tr, ida)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idaRep.Retries != 0 {
+		t.Fatalf("IDA strategy retried: %+v", idaRep)
+	}
+}
