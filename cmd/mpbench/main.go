@@ -164,6 +164,7 @@ func experimentList() []experiment {
 		{"E26", "Open-loop steady state: latency vs offered load, saturation throughput", runE26},
 		{"E27", "Sharded open loop: whole-cube saturation sweeps at million-node scale", runE27},
 		{"E28", "Self-healing transport: degradation curves under live faults", runE28},
+		{"E29", "Strategy race: dimorder/Valiant/minimal/adaptive vs paper multipath", runE29},
 	}
 }
 
@@ -236,7 +237,7 @@ func main() {
 	trafficPath := flag.String("traffic-json", "BENCH_traffic.json", "write the E26 open-loop latency-vs-load sweep JSON here (empty to disable)")
 	loadFlag := flag.String("load", "", "comma-separated offered loads for the E26 sweep (fractions of window capacity, e.g. 0.1,0.5,1.0)")
 	arrivalFlag := flag.String("arrival", trafficArrival, "E26 arrival process: poisson or mmpp")
-	trafficDimsFlag := flag.String("traffic-dims", "", "comma-separated host dimensions for the E26 and E27 open-loop sweeps (defaults 12,16 and 16,20)")
+	trafficDimsFlag := flag.String("traffic-dims", "", "comma-separated host dimensions for the E26/E27/E29 open-loop sweeps (defaults 12,16 / 16,20 / 12,16)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run here")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) here")
 	flag.Parse()
@@ -267,6 +268,7 @@ func main() {
 	} else if len(dims) > 0 {
 		trafficDims = dims
 		olDims = dims
+		raceDims = dims
 	}
 
 	if *cpuProfile != "" {

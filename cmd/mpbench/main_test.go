@@ -31,6 +31,12 @@ func init() {
 	olDims = []int{10}
 	olLoads = []float64{0.2, 0.9}
 	olNMax = 2000
+	// The E29 strategy race shrinks to Q_10, two loads, and short
+	// traces; every contender, fabric, and pattern still runs.
+	raceDims = []int{10}
+	raceSources = 256
+	raceLoads = []float64{0.2, 1.2}
+	raceN = 800
 }
 
 // Every experiment must run cleanly and produce a non-trivial table;
@@ -592,6 +598,87 @@ func TestWriteTrafficJSON(t *testing.T) {
 				t.Errorf("%s Q_%d shards=%d: no timing recorded: %+v", c.Embedding, c.Dims, pt.Shards, pt)
 			}
 		}
+	}
+	// The E29 strategy_race section: one case per pattern×dimension,
+	// a clean and a faulty fabric each racing all five contenders over
+	// every swept load, with conservation and seed-replay on record —
+	// and the headline separation: feedback-adaptive routing beats
+	// deterministic dimension-order on the clean hotspot's tail.
+	race := rep.StrategyRace
+	if race == nil {
+		t.Fatal("no strategy_race section in the traffic report")
+	}
+	if race.Windows != raceWindows || len(race.Loads) != len(raceLoads) {
+		t.Fatalf("race env mismatch: %d windows, %d loads", race.Windows, len(race.Loads))
+	}
+	if len(race.Cases) != 5*len(raceDims) {
+		t.Fatalf("race has %d cases, want %d (5 patterns per dim)", len(race.Cases), 5*len(raceDims))
+	}
+	var hotspotClean []raceCurve
+	for _, c := range race.Cases {
+		if c.Capacity <= 0 || c.MeanFlitHops <= 0 || c.Pairs == 0 || c.PairsFrom < c.Pairs {
+			t.Errorf("race %s Q_%d: degenerate case %+v", c.Pattern, c.Dims, c)
+		}
+		if len(c.Fabrics) != 2 || c.Fabrics[0].Fabric != "clean" || c.Fabrics[1].Fabric != "faulty" {
+			t.Fatalf("race %s Q_%d: want clean+faulty fabrics, got %+v", c.Pattern, c.Dims, c.Fabrics)
+		}
+		if c.Fabrics[1].DeadLinks == 0 {
+			t.Errorf("race %s Q_%d: faulty fabric drew no dead links", c.Pattern, c.Dims)
+		}
+		for _, fab := range c.Fabrics {
+			if len(fab.Curves) != len(raceStrategyNames) {
+				t.Fatalf("race %s Q_%d %s: %d curves, want %d", c.Pattern, c.Dims, fab.Fabric, len(fab.Curves), len(raceStrategyNames))
+			}
+			for ci, cv := range fab.Curves {
+				if cv.Strategy != raceStrategyNames[ci] {
+					t.Errorf("race %s Q_%d %s curve %d: strategy %q, want %q", c.Pattern, c.Dims, fab.Fabric, ci, cv.Strategy, raceStrategyNames[ci])
+				}
+				if !cv.Replayed {
+					t.Errorf("race %s Q_%d %s %s: first point not replay-verified", c.Pattern, c.Dims, fab.Fabric, cv.Strategy)
+				}
+				if len(cv.Points) != len(raceLoads) {
+					t.Fatalf("race %s Q_%d %s %s: %d points, want %d", c.Pattern, c.Dims, fab.Fabric, cv.Strategy, len(cv.Points), len(raceLoads))
+				}
+				for i, pt := range cv.Points {
+					if pt.Load != raceLoads[i] || pt.Arrivals != raceN {
+						t.Errorf("race %s Q_%d %s %s point %d: load %g arrivals %d, want %g/%d",
+							c.Pattern, c.Dims, fab.Fabric, cv.Strategy, i, pt.Load, pt.Arrivals, raceLoads[i], raceN)
+					}
+					if !pt.Conserved {
+						t.Errorf("race %s Q_%d %s %s load %g: conservation unchecked", c.Pattern, c.Dims, fab.Fabric, cv.Strategy, pt.Load)
+					}
+					if pt.Delivered+pt.Failed != pt.Arrivals {
+						t.Errorf("race %s Q_%d %s %s load %g: delivered %d + failed %d != %d arrivals",
+							c.Pattern, c.Dims, fab.Fabric, cv.Strategy, pt.Load, pt.Delivered, pt.Failed, pt.Arrivals)
+					}
+					if fab.Fabric == "clean" && pt.Failed != 0 {
+						t.Errorf("race %s Q_%d clean %s load %g: %d messages failed on a clean fabric",
+							c.Pattern, c.Dims, cv.Strategy, pt.Load, pt.Failed)
+					}
+					s := pt.Latency
+					if s.N == 0 || uint64(pt.Arrivals) <= s.N || !(s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+						t.Errorf("race %s Q_%d %s %s load %g: bad latency summary %+v",
+							c.Pattern, c.Dims, fab.Fabric, cv.Strategy, pt.Load, s)
+					}
+				}
+			}
+		}
+		if c.Pattern == "hotspot" {
+			hotspotClean = c.Fabrics[0].Curves
+		}
+	}
+	byName := map[string]raceCurve{}
+	for _, cv := range hotspotClean {
+		byName[cv.Strategy] = cv
+	}
+	top := len(raceLoads) - 1
+	ada, dim := byName["adaptive"], byName["dimorder"]
+	if len(ada.Points) == 0 || len(dim.Points) == 0 {
+		t.Fatal("hotspot clean curves missing adaptive or dimorder")
+	}
+	if ada.Points[top].Latency.P99 >= dim.Points[top].Latency.P99 {
+		t.Errorf("adaptive p99 %d not below dimorder p99 %d on the clean hotspot at load %g",
+			ada.Points[top].Latency.P99, dim.Points[top].Latency.P99, raceLoads[top])
 	}
 	checkEnv(t, rep.Env)
 }

@@ -114,6 +114,10 @@ type trafficReport struct {
 	// arrival process with per-shard-count speedups of the sharded
 	// open-loop engine over the single-shard one.
 	ShardSweep []trafficShardCase `json:"shard_sweep"`
+	// StrategyRace is the E29 record: the routing strategy zoo raced
+	// against the paper's disjoint-path construction across traffic
+	// patterns on clean and faulty fabrics.
+	StrategyRace *raceReport `json:"strategy_race"`
 }
 
 // trafficWindow cuts the hotspot window out of an embedding and builds
@@ -413,8 +417,13 @@ func writeTrafficJSON(path string) error {
 	if err != nil {
 		return err
 	}
+	race, err := measureStrategyRace()
+	if err != nil {
+		return err
+	}
 	out := *rep
 	out.ShardSweep = sweep
+	out.StrategyRace = race
 	out.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	out.Env = currentEnv()
 	data, err := json.MarshalIndent(out, "", "  ")

@@ -23,12 +23,22 @@
 // open-loop engine is bit-identical to the single-shard one, so the
 // numbers do not depend on the shard count.
 //
+// Beyond the classical entries, -strategy also accepts the routing
+// strategy zoo (internal/routing): dimorder (e-cube through the
+// strategy layer), minimal (random minimal order with per-link load
+// accounting), and adaptive (feedback-driven re-planning). In
+// open-loop mode the adaptive strategy runs windowed (-windows):
+// routes are re-drawn between measurement windows on observed
+// queue-depth feedback, and under -fault-p it learns dead links as the
+// engine reports them; this path is single-shard.
+//
 // Usage:
 //
 //	routesim -n 4 -flits 64 -seed 42
 //	routesim -n 8 -flits 128 -strategy ccc
 //	routesim -n 4 -strategy valiant -obs -trace valiant.jsonl
 //	routesim -n 4 -arrival poisson -rate 0.2 -arrivals 2000 -shards 4 -obs
+//	routesim -n 4 -strategy adaptive -arrival poisson -rate 0.3 -fault-p 0.02 -windows 4
 package main
 
 import (
@@ -40,8 +50,10 @@ import (
 
 	"multipath"
 	"multipath/internal/faults"
+	"multipath/internal/hypercube"
 	"multipath/internal/netsim"
 	"multipath/internal/obsv"
+	"multipath/internal/routing"
 	"multipath/internal/traffic"
 )
 
@@ -49,7 +61,8 @@ func main() {
 	n := flag.Int("n", 4, "CCC levels (host is Q_{n+log n}); must be a power of two")
 	flits := flag.Int("flits", 64, "message length in flits")
 	seed := flag.Int64("seed", 42, "permutation seed")
-	strategy := flag.String("strategy", "all", "ecube-sf | ecube-ct | ecube-wh | valiant | ccc | all")
+	strategy := flag.String("strategy", "all", "ecube-sf | ecube-ct | ecube-wh | valiant | ccc | dimorder | minimal | adaptive | all")
+	windows := flag.Int("windows", 4, "open-loop measurement windows for the adaptive strategy's feedback re-planning")
 	obs := flag.Bool("obs", false, "report latency and queue-depth distributions per strategy")
 	tracePath := flag.String("trace", "", "write a JSONL event trace of every run here")
 	shards := flag.Int("shards", 1, "shard workers per buffered simulation (>1 uses the partitioned engine; results are identical)")
@@ -65,7 +78,7 @@ func main() {
 		process: *arrival, rate: *rate, arrivals: *arrivals,
 		faultP: *faultP, faultSeed: *faultSeed, faultBurst: *faultBurst,
 	}
-	if err := run(*n, *flits, *seed, *strategy, *obs, *tracePath, *shards, ol); err != nil {
+	if err := run(*n, *flits, *seed, *strategy, *obs, *tracePath, *shards, *windows, ol); err != nil {
 		fmt.Fprintln(os.Stderr, "routesim:", err)
 		os.Exit(1)
 	}
@@ -86,15 +99,24 @@ type openLoopCfg struct {
 	faultBurst string
 }
 
-// strategyEntry is one selected strategy's prepared workload.
+// strategyEntry is one selected strategy's prepared workload. Routing-
+// zoo entries also carry their strategy and pair list (strat/pairs) so
+// the open-loop path can re-draw routes per window, plus the host's
+// full directed-link count for the fault draw (a re-planning strategy
+// may cross links absent from the initial template set).
 type strategyEntry struct {
 	name     string
 	wormhole bool
 	msgs     []*netsim.Message
 	mode     netsim.Mode
+	strat    routing.Strategy
+	pairs    []routing.Pair
+	host     *hypercube.Q
+	links    int
+	flits    int
 }
 
-func run(n, flits int, seed int64, strategy string, obs bool, tracePath string, shards int, ol openLoopCfg) error {
+func run(n, flits int, seed int64, strategy string, obs bool, tracePath string, shards, windows int, ol openLoopCfg) error {
 	if shards < 0 {
 		return fmt.Errorf("-shards must be nonnegative, got %d", shards)
 	}
@@ -137,9 +159,36 @@ func run(n, flits int, seed int64, strategy string, obs bool, tracePath string, 
 		}
 		entries = append(entries, strategyEntry{name: "ccc", msgs: msgs, mode: netsim.CutThrough})
 	}
+	// The routing strategy zoo: closed-loop runs use the templates drawn
+	// here; the adaptive open-loop path re-draws from entry.strat per
+	// window instead. Only explicit selection adds them ("all" keeps the
+	// historical output stable).
+	zoo := []struct {
+		name string
+		mk   func() routing.Strategy
+	}{
+		{"dimorder", func() routing.Strategy { return routing.NewDimOrder(q) }},
+		{"minimal", func() routing.Strategy { return routing.NewMinimalOblivious(q) }},
+		{"adaptive", func() routing.Strategy { return routing.NewAdaptive(q) }},
+	}
+	for _, z := range zoo {
+		if strategy != z.name {
+			continue
+		}
+		pairs := routing.PermutationPairs(perm)
+		msgs, err := routing.Templates(z.mk(), q, pairs, flits, seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", z.name, err)
+		}
+		entries = append(entries, strategyEntry{name: z.name, msgs: msgs, mode: netsim.CutThrough,
+			strat: z.mk(), pairs: pairs, host: q, links: q.DirectedEdges(), flits: flits})
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("unknown strategy %q", strategy)
+	}
 
 	if ol.process != "" {
-		return runOpenLoop(entries, ol, seed, obs, tracePath, shards)
+		return runOpenLoop(entries, ol, seed, obs, tracePath, shards, windows)
 	}
 	if ol.faultP != 0 || ol.faultBurst != "" {
 		return fmt.Errorf("-fault-p and -fault-burst need the open-loop mode (set -arrival)")
@@ -293,8 +342,12 @@ func faultSchedule(ol openLoopCfg, numLinks int) (*faults.Schedule, error) {
 // (shards ≤ 1 is exactly the single-shard engine, and every shard
 // count is bit-identical). -fault-p degrades the fabric under the
 // arrivals; the report then adds failed/dropped accounting. Wormhole
-// switching has no open-loop model and is skipped with a note.
-func runOpenLoop(entries []strategyEntry, ol openLoopCfg, seed int64, obs bool, tracePath string, shards int) error {
+// switching has no open-loop model and is skipped with a note. A
+// Feedback strategy (adaptive) instead runs windowed through
+// routing.Run — routes re-drawn between windows on queue-depth
+// feedback — which is single-shard and carries its own internal probe,
+// so -trace skips it with a note.
+func runOpenLoop(entries []strategyEntry, ol openLoopCfg, seed int64, obs bool, tracePath string, shards, windows int) error {
 	var tw *obsv.TraceWriter
 	if tracePath != "" {
 		f, err := os.Create(tracePath)
@@ -309,6 +362,12 @@ func runOpenLoop(entries []strategyEntry, ol openLoopCfg, seed int64, obs bool, 
 			fmt.Printf("%-9s skipped: wormhole switching has no open-loop model\n", e.name)
 			continue
 		}
+		if fb, ok := e.strat.(routing.Feedback); ok && fb != nil {
+			if err := runOpenLoopWindowed(e, ol, seed, obs, tracePath, windows); err != nil {
+				return err
+			}
+			continue
+		}
 		tr, err := arrivalTrace(ol, seed, len(e.msgs))
 		if err != nil {
 			return err
@@ -319,7 +378,7 @@ func runOpenLoop(entries []strategyEntry, ol openLoopCfg, seed int64, obs bool, 
 		// *steps* into its own MsgLatency, which in open-loop time is
 		// not a latency.
 		lat, rec := obsv.NewRecorder(), obsv.NewRecorder()
-		numLinks := 0
+		numLinks := e.links
 		for _, m := range e.msgs {
 			for _, l := range m.Route {
 				if l >= numLinks {
@@ -363,6 +422,52 @@ func runOpenLoop(entries []strategyEntry, ol openLoopCfg, seed int64, obs bool, 
 			return err
 		}
 		fmt.Printf("wrote %s\n", tracePath)
+	}
+	return nil
+}
+
+// runOpenLoopWindowed runs one Feedback strategy entry through the
+// windowed routing.Run loop: the arrival trace is split into -windows
+// contiguous windows, routes are re-drawn between them on the observed
+// queue depths, and under faults the strategy learns dead links from
+// the engine. The summary line matches the plain open-loop format with
+// a windows count appended.
+func runOpenLoopWindowed(e strategyEntry, ol openLoopCfg, seed int64, obs bool, tracePath string, windows int) error {
+	if tracePath != "" {
+		fmt.Printf("%-9s note: -trace is not supported for the windowed feedback path\n", e.name)
+	}
+	tr, err := arrivalTrace(ol, seed, len(e.pairs))
+	if err != nil {
+		return err
+	}
+	sched, err := faultSchedule(ol, e.links)
+	if err != nil {
+		return err
+	}
+	lat := obsv.NewRecorder()
+	cfg := routing.RunConfig{
+		Flits:   e.flits,
+		Windows: windows,
+		Seed:    seed,
+		Mode:    e.mode,
+		Sink:    lat.MsgLatency,
+	}
+	if sched != nil {
+		cfg.Faults = sched
+	}
+	res, err := routing.Run(e.strat, e.host, e.pairs, tr, cfg)
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.name, err)
+	}
+	fmt.Printf("%-9s steps=%-8d delivered=%-6d skipped=%-8d inflight-max=%-5d flit-hops=%-8d windows=%d\n",
+		e.name, res.Steps, res.DeliveredMsgs, res.SkippedSteps, res.MaxInFlight, res.FlitsMoved, res.Windows)
+	if sched != nil {
+		fmt.Printf("          faulty-links=%d failed=%d dropped-flit-hops=%d\n",
+			sched.FaultyLinks(), res.FailedMsgs, res.DroppedFlits)
+	}
+	if obs {
+		ml := lat.MsgLatency.Summarize()
+		fmt.Printf("          msg-lat p50/p95/p99=%d/%d/%d\n", ml.P50, ml.P95, ml.P99)
 	}
 	return nil
 }

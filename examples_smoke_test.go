@@ -1,0 +1,49 @@
+package multipath_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesSmoke builds and runs every example program end to end,
+// requiring a zero exit status and the example's headline sentinel in
+// its output. The examples are documentation that must keep compiling
+// *and running* against the facade; `go build ./...` alone only checks
+// the former. Each `go run` is a real toolchain invocation, so the
+// test skips under -short and when no go binary is on PATH.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("building and running example binaries is slow")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("no go binary on PATH")
+	}
+	examples := []struct {
+		name     string
+		sentinel string
+	}{
+		{"quickstart", "Theorem 1 on Q_"},
+		{"broadcast", "Hamiltonian cycles"},
+		{"faultpaths", "embedding on Q_8"},
+		{"gridrelax", "relaxation of a"},
+		{"wormhole", "random permutation on Q_"},
+		{"bitonic", "bitonic sort of"},
+	}
+	for _, ex := range examples {
+		t.Run(ex.name, func(t *testing.T) {
+			t.Parallel()
+			// The test's working directory is the module root (this file's
+			// package), which is exactly where `go run ./examples/...`
+			// must run.
+			out, err := exec.Command(goBin, "run", "./examples/"+ex.name).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", ex.name, err, out)
+			}
+			if !strings.Contains(string(out), ex.sentinel) {
+				t.Errorf("output missing sentinel %q:\n%s", ex.sentinel, out)
+			}
+		})
+	}
+}

@@ -21,6 +21,32 @@ type RecorderOpts struct {
 	// UtilCap bounds the retained samples per utilization series
 	// (default 256); longer runs downsample by stride doubling.
 	UtilCap int
+	// LinkQueues enables per-link queue-depth accumulation (sum, count,
+	// max per external link id) — the feedback the adaptive routing
+	// strategy re-plans on between measurement windows. Queue depth is
+	// not utilization: a link can be fully busy with a short queue or
+	// idle behind a long one, so this is a separate opt-in. Stats are
+	// kept in flat slices indexed by external link id (memory O(max
+	// external id seen) — exact and cheap for the dense hypercube ids,
+	// the intended use).
+	LinkQueues bool
+}
+
+// LinkQueueStat accumulates one link's queue-depth samples: the sum
+// and count of StepEnd observations plus the maximum seen.
+type LinkQueueStat struct {
+	Sum uint64
+	N   uint64
+	Max int
+}
+
+// Mean returns the link's mean observed queue depth (0 when never
+// observed).
+func (s LinkQueueStat) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.N)
 }
 
 // Recorder is the standard netsim.Probe: it folds the event stream of
@@ -60,6 +86,11 @@ type Recorder struct {
 
 	opts RecorderOpts
 	util map[int]*Series // external link id → utilization series
+	// Per-link queue-depth accumulators indexed by external link id
+	// (parallel slices, grown on demand; RecorderOpts.LinkQueues).
+	lqSum []uint64
+	lqN   []uint64
+	lqMax []int
 
 	// Per-run scratch, rebuilt by BeginRun.
 	ext   []int // copy of the run's dense→external id table
@@ -125,6 +156,19 @@ func (r *Recorder) StepEnd(step int, queueLen []int) {
 			}
 			s.Add(float64(m))
 		}
+		if r.opts.LinkQueues {
+			id := r.ext[l]
+			if id >= len(r.lqSum) {
+				r.lqSum = append(r.lqSum, make([]uint64, id+1-len(r.lqSum))...)
+				r.lqN = append(r.lqN, make([]uint64, id+1-len(r.lqN))...)
+				r.lqMax = append(r.lqMax, make([]int, id+1-len(r.lqMax))...)
+			}
+			r.lqSum[id] += uint64(q)
+			r.lqN[id]++
+			if q > r.lqMax[id] {
+				r.lqMax[id] = q
+			}
+		}
 		r.moved[l] = 0
 	}
 	if len(queueLen) > 0 {
@@ -176,4 +220,24 @@ func (r *Recorder) LinkUtilization() map[int][]float64 {
 func (r *Recorder) UtilizationOf(link int) (*Series, bool) {
 	s, ok := r.util[link]
 	return s, ok
+}
+
+// LinkQueueDepth returns the accumulated queue-depth stat of the given
+// external link id and whether that link was ever observed. Requires
+// RecorderOpts.LinkQueues.
+func (r *Recorder) LinkQueueDepth(link int) (LinkQueueStat, bool) {
+	if link < 0 || link >= len(r.lqN) || r.lqN[link] == 0 {
+		return LinkQueueStat{}, false
+	}
+	return LinkQueueStat{Sum: r.lqSum[link], N: r.lqN[link], Max: r.lqMax[link]}, true
+}
+
+// EachLinkQueueDepth calls fn for every observed link in ascending
+// external-id order. Requires RecorderOpts.LinkQueues.
+func (r *Recorder) EachLinkQueueDepth(fn func(link int, s LinkQueueStat)) {
+	for id, n := range r.lqN {
+		if n > 0 {
+			fn(id, LinkQueueStat{Sum: r.lqSum[id], N: n, Max: r.lqMax[id]})
+		}
+	}
 }

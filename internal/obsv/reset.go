@@ -32,6 +32,9 @@ func (r *Recorder) Reset() {
 	r.Runs, r.Steps, r.Delivered, r.Failed = 0, 0, 0, 0
 	r.Moved, r.Dropped = 0, 0
 	clear(r.util)
+	clear(r.lqSum)
+	clear(r.lqN)
+	clear(r.lqMax)
 	r.ext = r.ext[:0]
 	for i := range r.moved {
 		r.moved[i] = 0

@@ -1,0 +1,163 @@
+package routing
+
+import (
+	"fmt"
+
+	"multipath/internal/hypercube"
+	"multipath/internal/netsim"
+	"multipath/internal/obsv"
+)
+
+// RunConfig parameterizes a windowed open-loop strategy run.
+type RunConfig struct {
+	// Flits is the payload of every message (values < 1 are an error,
+	// matching the template builder).
+	Flits int
+	// Windows splits the trace into that many contiguous measurement
+	// windows (values < 1 mean 1). Each window rebuilds the templates
+	// from the strategy — so a Feedback strategy (Adaptive) re-plans on
+	// the previous window's observations — and runs to drain before the
+	// next window starts.
+	Windows int
+	// Seed derives each window's route-draw rng (window w uses
+	// Seed + w), keeping the whole run replayable.
+	Seed int64
+	// Mode is the switching discipline.
+	Mode netsim.Mode
+	// Faults, when non-nil, degrades the fabric. Fault steps are
+	// queried in *window-local* time (each window's clock restarts), so
+	// only time-invariant schedules — permanent Bernoulli draws — mean
+	// the same thing across windows; epoch schedules would re-run their
+	// epoch per window. When the strategy is a netsim.FaultListener
+	// (Adaptive), it is attached and learns the dead links.
+	Faults netsim.LinkFaults
+	// StepLimit is the per-window graceful timeout (0: run to drain
+	// under the livelock bound).
+	StepLimit int
+	// WarmupFrac excludes each window's leading fraction of arrivals
+	// from Sink (0 observes everything; E29 uses 0.2, matching the E26
+	// convention).
+	WarmupFrac float64
+	// Sink receives delivery−arrival per delivered message past the
+	// warm-up, across all windows.
+	Sink netsim.LatencySink
+}
+
+// RunResult aggregates a windowed run: the embedded OpenLoopResult
+// sums counters across windows (Steps is total model time; the
+// conservation invariant FlitsMoved + DroppedFlits == InjectedHops
+// holds for the sums), MaxLinkQueue/MaxInFlight take the max, and
+// TimedOut reports any window hitting its limit.
+type RunResult struct {
+	netsim.OpenLoopResult
+	// Windows is the number of windows actually run.
+	Windows int
+}
+
+// SplitTrace cuts a trace into k contiguous windows of near-equal
+// arrival counts, rebasing each window's steps so it starts at step 0
+// (windows run back to back, each from a drained network — the
+// inter-window gap is where a Feedback strategy re-plans). k < 1 means
+// 1; empty windows are kept so every strategy sees identical slicing.
+func SplitTrace(tr *netsim.Trace, k int) []*netsim.Trace {
+	if k < 1 {
+		k = 1
+	}
+	arr := tr.Arrivals
+	out := make([]*netsim.Trace, k)
+	for w := 0; w < k; w++ {
+		lo, hi := w*len(arr)/k, (w+1)*len(arr)/k
+		chunk := make([]netsim.Arrival, hi-lo)
+		copy(chunk, arr[lo:hi])
+		if len(chunk) > 0 {
+			base := chunk[0].Step
+			for i := range chunk {
+				chunk[i].Step -= base
+			}
+		}
+		out[w] = &netsim.Trace{Arrivals: chunk}
+	}
+	return out
+}
+
+// warmupStep returns the window-local MeasureAfter step excluding the
+// leading frac of the window's arrivals.
+func warmupStep(tr *netsim.Trace, frac float64) int {
+	if len(tr.Arrivals) == 0 || frac <= 0 {
+		return 0
+	}
+	i := int(frac * float64(len(tr.Arrivals)))
+	if i >= len(tr.Arrivals) {
+		i = len(tr.Arrivals) - 1
+	}
+	return tr.Arrivals[i].Step
+}
+
+// Run executes one strategy over a traffic demand: the trace's
+// arrivals (whose Tmpl indexes pairs) are split into cfg.Windows
+// windows, each window's route templates are drawn fresh from s
+// (stateful strategies carry their load/cost tables across windows),
+// and the windows run back to back on the open-loop engine. A
+// Feedback strategy observes each window through a LinkQueues Recorder
+// and re-plans before the next; a FaultListener strategy learns dead
+// links as the engine reports them. Everything is deterministic in
+// (s initial state, q, pairs, tr, cfg).
+func Run(s Strategy, q *hypercube.Q, pairs []Pair, tr *netsim.Trace, cfg RunConfig) (*RunResult, error) {
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("routing: run needs at least one pair")
+	}
+	windows := cfg.Windows
+	if windows < 1 {
+		windows = 1
+	}
+	feedback, _ := s.(Feedback)
+	listener, _ := s.(netsim.FaultListener)
+	var rec *obsv.Recorder
+	if feedback != nil && windows > 1 {
+		rec = obsv.NewRecorderOpts(obsv.RecorderOpts{LinkQueues: true})
+	}
+	res := &RunResult{Windows: windows}
+	for w, chunk := range SplitTrace(tr, windows) {
+		tmpls, err := Templates(s, q, pairs, cfg.Flits, cfg.Seed+int64(w))
+		if err != nil {
+			return nil, err
+		}
+		opts := netsim.OpenLoopOpts{
+			Mode:         cfg.Mode,
+			Faults:       cfg.Faults,
+			StepLimit:    cfg.StepLimit,
+			MeasureAfter: warmupStep(chunk, cfg.WarmupFrac),
+			Sink:         cfg.Sink,
+		}
+		if cfg.Faults != nil && listener != nil {
+			opts.Listener = listener
+		}
+		if rec != nil {
+			rec.Reset()
+			opts.Probe = rec
+		}
+		olr, err := netsim.SimulateOpenLoop(tmpls, chunk.Source(), opts)
+		if err != nil {
+			return nil, fmt.Errorf("routing: %s window %d: %w", s.Name(), w, err)
+		}
+		res.Steps += olr.Steps
+		res.FlitsMoved += olr.FlitsMoved
+		res.DeliveredMsgs += olr.DeliveredMsgs
+		res.FailedMsgs += olr.FailedMsgs
+		res.DroppedFlits += olr.DroppedFlits
+		res.Injected += olr.Injected
+		res.InjectedHops += olr.InjectedHops
+		res.SkippedSteps += olr.SkippedSteps
+		if olr.MaxLinkQueue > res.MaxLinkQueue {
+			res.MaxLinkQueue = olr.MaxLinkQueue
+		}
+		if olr.MaxInFlight > res.MaxInFlight {
+			res.MaxInFlight = olr.MaxInFlight
+		}
+		res.TimedOut = res.TimedOut || olr.TimedOut
+		if rec != nil && w+1 < windows {
+			feedback.Observe(rec)
+		}
+	}
+	return res, nil
+}

@@ -81,13 +81,17 @@ type FixedBackoff struct {
 func (b FixedBackoff) Delay(int, int32) int { return b.Steps }
 
 // ExpBackoff is deterministic seeded exponential backoff with jitter:
-// attempt k waits Base·2^(k-1) steps (clamped to Cap when Cap > 0),
-// plus a jitter of up to Jitter times that, drawn by a stateless hash
-// of (Seed, transfer id, attempt) — no shared rng state, so the draw
-// is independent of callback interleaving and replays exactly.
+// attempt k waits Base·2^(k-1) steps plus a jitter of up to Jitter
+// times that, drawn by a stateless hash of (Seed, transfer id,
+// attempt) — no shared rng state, so the draw is independent of
+// callback interleaving and replays exactly. Cap bounds the *final*
+// delay: jitter is applied first and the sum clamped, so Delay never
+// exceeds Cap. (An earlier version clamped before adding jitter,
+// letting delays escape to Cap·(1+Jitter); the regression test pins
+// the fixed order.)
 type ExpBackoff struct {
 	Base   int     // first retry delay in steps (values < 1 mean 1)
-	Cap    int     // ceiling on the pre-jitter delay; 0 = uncapped
+	Cap    int     // ceiling on the post-jitter delay; 0 = uncapped
 	Jitter float64 // jitter fraction of the delay, typically in [0, 1]
 	Seed   int64   // jitter hash seed
 }
@@ -108,6 +112,9 @@ func (b ExpBackoff) Delay(attempt int, id int32) int {
 	}
 	if b.Jitter > 0 {
 		d += int(float64(d) * b.Jitter * faults.Hash01(b.Seed, int(id), attempt))
+		if b.Cap > 0 && d > b.Cap {
+			d = b.Cap
+		}
 	}
 	return d
 }

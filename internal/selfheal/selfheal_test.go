@@ -439,3 +439,30 @@ func TestSelfHealValidation(t *testing.T) {
 		t.Fatal("negative edge index accepted")
 	}
 }
+
+// TestExpBackoffJitterRespectsCap pins the Cap-is-final-delay fix: an
+// earlier version applied jitter after clamping, so delays escaped to
+// Cap·(1+Jitter). Now no (attempt, id) draw may exceed Cap — while the
+// E28 bench configuration (Base 2, Cap 32, Jitter 0.5, healMaxRetries
+// 3) must keep its exact historical delays, which never reached the
+// clamp (max pre-jitter delay 8, max post-jitter 12 < 32).
+func TestExpBackoffJitterRespectsCap(t *testing.T) {
+	b := ExpBackoff{Base: 3, Cap: 10, Jitter: 0.9, Seed: 11}
+	for attempt := 1; attempt <= 12; attempt++ {
+		for id := int32(0); id < 50; id++ {
+			if d := b.Delay(attempt, id); d > b.Cap {
+				t.Fatalf("Delay(%d, %d) = %d exceeds Cap %d", attempt, id, d, b.Cap)
+			}
+		}
+	}
+	e28 := ExpBackoff{Base: 2, Cap: 32, Jitter: 0.5, Seed: 1}
+	for attempt := 1; attempt <= 4; attempt++ {
+		for id := int32(0); id < 64; id++ {
+			pre := 2 << (attempt - 1)
+			want := pre + int(float64(pre)*0.5*faults.Hash01(1, int(id), attempt))
+			if d := e28.Delay(attempt, id); d != want {
+				t.Fatalf("E28 config Delay(%d, %d) = %d, want unchanged %d", attempt, id, d, want)
+			}
+		}
+	}
+}

@@ -47,6 +47,9 @@ func CCCGreedyRoute(n int, from, to int32) []int32 {
 // pieces share the physical hypercube under the embedding's congestion
 // bound of 2.
 func MultiCopyCCCMessages(mc *core.MultiCopy, n int, perm []int, flits int) ([]*netsim.Message, error) {
+	if flits < 1 {
+		return nil, fmt.Errorf("traffic: multi-copy messages need at least 1 flit, got %d", flits)
+	}
 	q := mc.Host
 	copies := len(mc.Copies)
 	piece := (flits + copies - 1) / copies
@@ -131,6 +134,9 @@ func PathTemplates(e *core.Embedding, edges []int, flits int) ([]*netsim.Message
 // multiple-path embedding across its disjoint paths — the paper's §2
 // use of width for throughput.
 func WidthPathMessages(e *core.Embedding, flits int) ([]*netsim.Message, error) {
+	if flits < 1 {
+		return nil, fmt.Errorf("traffic: width-path messages need at least 1 flit, got %d", flits)
+	}
 	var msgs []*netsim.Message
 	for _, ps := range e.Paths {
 		w := len(ps)

@@ -116,27 +116,43 @@ func TestSection2ThroughSimulator(t *testing.T) {
 	}
 }
 
-// Edge cases of the message builders: builds that produce no messages
-// at all must succeed (and simulate as empty runs), self-traffic is
-// skipped rather than routed, and seeded builders are reproducible.
-func TestBuilderZeroMessages(t *testing.T) {
+// Edge cases of the message builders: every builder rejects a
+// non-positive flit count up front (a zero-flit build used to succeed
+// as an empty message set, silently simulating nothing), self-traffic
+// is skipped rather than routed, and seeded builders are reproducible.
+func TestBuilderRejectsNonPositiveFlits(t *testing.T) {
 	emb, err := cycles.Theorem1(6)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wm, err := WidthPathMessages(emb, 0)
+	mc, err := ccc.Theorem3(4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(wm) != 0 {
-		t.Fatalf("zero flits built %d messages", len(wm))
+	perm := netsim.RandomPermutation(rand.New(rand.NewSource(1)), mc.Host.Nodes())
+	builders := map[string]func(flits int) error{
+		"WidthPathMessages": func(flits int) error {
+			_, err := WidthPathMessages(emb, flits)
+			return err
+		},
+		"MultiCopyCCCMessages": func(flits int) error {
+			_, err := MultiCopyCCCMessages(mc, 4, perm, flits)
+			return err
+		},
+		"PathTemplates": func(flits int) error {
+			_, _, err := PathTemplates(emb, nil, flits)
+			return err
+		},
 	}
-	res, err := netsim.Simulate(wm, netsim.CutThrough)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Steps != 0 || res.FlitsMoved != 0 || res.DeliveredMsgs != 0 {
-		t.Fatalf("empty build simulated to %+v", res)
+	for name, build := range builders {
+		for _, flits := range []int{0, -1, -16} {
+			if err := build(flits); err == nil {
+				t.Errorf("%s accepted flits=%d", name, flits)
+			}
+		}
+		if err := build(1); err != nil {
+			t.Errorf("%s rejected flits=1: %v", name, err)
+		}
 	}
 }
 

@@ -67,6 +67,7 @@ import (
 	"multipath/internal/netsim"
 	"multipath/internal/obsv"
 	"multipath/internal/relax"
+	"multipath/internal/routing"
 	"multipath/internal/selfheal"
 	"multipath/internal/traffic"
 	"multipath/internal/transport"
@@ -157,6 +158,22 @@ type (
 	// ExpBackoff is seeded exponential backoff with stateless hash
 	// jitter — replayable regardless of callback interleaving.
 	ExpBackoff = selfheal.ExpBackoff
+	// RoutingStrategy draws one route template per source–destination
+	// pair over a hypercube's dense directed-link ids; implementations
+	// are deterministic in (state, rng).
+	RoutingStrategy = routing.Strategy
+	// RoutingPair is one source–destination demand for a
+	// RoutingStrategy.
+	RoutingPair = routing.Pair
+	// AdaptiveStrategy is the feedback-driven strategy: it re-plans on
+	// observed queue depths between measurement windows and learns dead
+	// links from the engine's failure notifications.
+	AdaptiveStrategy = routing.Adaptive
+	// StrategyRunConfig parameterizes RunStrategy's windowed open-loop
+	// execution.
+	StrategyRunConfig = routing.RunConfig
+	// StrategyRunResult aggregates a windowed strategy run.
+	StrategyRunResult = routing.RunResult
 	// CBTEmbedding is Theorem 5's complete-binary-tree result.
 	CBTEmbedding = xproduct.CBTEmbedding
 	// GridMultiPath is Corollary 1's grid embedding with phase costs.
@@ -515,3 +532,52 @@ func Load2Torus(a, k int) (*GridMultiPath, error) { return grid.Load2Torus(a, k)
 // with no cross-edge coordination — the instructive foil to Theorem 1
 // (same width, colliding schedule).
 func WidenNaive(e *Embedding, w int) (*Embedding, error) { return core.Widen(e, w) }
+
+// NewDimOrder returns classical dimension-ordered (e-cube) routing as
+// a RoutingStrategy: the baseline every rival is raced against in E29.
+func NewDimOrder(q *Hypercube) RoutingStrategy { return routing.NewDimOrder(q) }
+
+// NewValiantStrategy returns Valiant–Brebner two-phase randomized
+// routing: dimension-ordered to a uniform random intermediate, then
+// dimension-ordered to the destination.
+func NewValiantStrategy(q *Hypercube) RoutingStrategy { return routing.NewValiant(q) }
+
+// NewMinimalOblivious returns minimal oblivious routing: a shortest
+// route through a uniformly random order of the differing dimensions,
+// tie-broken toward the links this instance has loaded least.
+func NewMinimalOblivious(q *Hypercube) RoutingStrategy { return routing.NewMinimalOblivious(q) }
+
+// NewAdaptive returns the feedback-driven strategy (see
+// AdaptiveStrategy); wire it to a run with RunStrategy, which attaches
+// the queue-depth recorder and fault listener for it.
+func NewAdaptive(q *Hypercube) *AdaptiveStrategy { return routing.NewAdaptive(q) }
+
+// PermutationDemand converts a permutation into RoutingStrategy
+// demands, keeping fixed points as empty self-routes so template
+// indexes align with PermutationMessages.
+func PermutationDemand(perm []int) []RoutingPair { return routing.PermutationPairs(perm) }
+
+// PatternDemand builds one of the named traffic patterns
+// (TrafficPatterns) over q as strategy demands.
+func PatternDemand(q *Hypercube, pattern string, seed int64) ([]RoutingPair, error) {
+	return traffic.PatternPairs(q, pattern, seed)
+}
+
+// StrategyTemplates draws one open-loop route template per pair from a
+// strategy (seeded, replayable).
+func StrategyTemplates(s RoutingStrategy, q *Hypercube, pairs []RoutingPair, flits int, seed int64) ([]*Message, error) {
+	return routing.Templates(s, q, pairs, flits, seed)
+}
+
+// RunStrategy executes one strategy over a traffic demand through the
+// windowed open-loop engine: cfg.Windows contiguous measurement
+// windows, route templates re-drawn from s between windows (a feedback
+// strategy re-plans on observed queue depths, and under cfg.Faults
+// learns dead links), counters aggregated across the whole run.
+func RunStrategy(s RoutingStrategy, q *Hypercube, pairs []RoutingPair, tr *ArrivalTrace, cfg StrategyRunConfig) (*StrategyRunResult, error) {
+	return routing.Run(s, q, pairs, tr, cfg)
+}
+
+// TrafficPatterns lists the named demand patterns PatternDemand
+// accepts: permutation, transpose, bitreversal, hotspot, tornado.
+func TrafficPatterns() []string { return append([]string(nil), traffic.Patterns...) }

@@ -426,3 +426,57 @@ func TestSelfHealingJourney(t *testing.T) {
 		t.Fatalf("IDA strategy retried: %+v", idaRep)
 	}
 }
+
+// The strategy-zoo journey: named traffic demands routed by every
+// strategy through the facade, then the adaptive strategy's windowed
+// feedback run over a hotspot demand.
+func TestStrategyJourney(t *testing.T) {
+	q := NewHypercube(6)
+	if pats := TrafficPatterns(); len(pats) != 5 {
+		t.Fatalf("TrafficPatterns() = %v, want 5 names", pats)
+	}
+	pairs, err := PatternDemand(q, "transpose", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []RoutingStrategy{
+		NewDimOrder(q), NewValiantStrategy(q), NewMinimalOblivious(q), NewAdaptive(q),
+	} {
+		tmpls, err := StrategyTemplates(s, q, pairs, 4, 11)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		res, err := Simulate(tmpls, CutThrough)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if res.DeliveredMsgs != len(tmpls) {
+			t.Errorf("%s delivered %d of %d", s.Name(), res.DeliveredMsgs, len(tmpls))
+		}
+	}
+	hot, err := PatternDemand(q, "hotspot", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := PoissonArrivals(3, 0.5, 400, len(hot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	res, err := RunStrategy(NewAdaptive(q), q, hot, tr, StrategyRunConfig{
+		Flits: 2, Windows: 4, Seed: 5, Mode: CutThrough, Sink: rec.MsgLatency,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows != 4 || res.Injected != 400 || res.DeliveredMsgs != 400 {
+		t.Fatalf("windowed run: %+v", res)
+	}
+	if res.FlitsMoved+res.DroppedFlits != res.InjectedHops {
+		t.Fatalf("conservation violated: moved %d + dropped %d != injected %d",
+			res.FlitsMoved, res.DroppedFlits, res.InjectedHops)
+	}
+	if rec.MsgLatency.N == 0 {
+		t.Error("latency sink observed nothing")
+	}
+}
